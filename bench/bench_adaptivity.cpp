@@ -1,0 +1,148 @@
+// Extension — run-time adaptation and reconfiguration overhead (§2's
+// time-variant allocations/bindings, quantified).
+//
+// The paper motivates flexibility with systems that "adopt their behavior
+// during operation", modeling FPGA configurations as architecture
+// clusters, but does not price the switches.  This bench plays channel-
+// surfing / app-switching scenarios on case-study platforms with annotated
+// reconfiguration times and reports: switches, total overhead, and the
+// largest reconfiguration time for which every switch still fits its
+// segment (the adaptivity headroom of the platform).
+#include "bench_common.hpp"
+
+namespace sdf {
+namespace {
+
+SpecificationGraph annotated_settop(double reconfig_time) {
+  SpecificationGraph spec = models::make_settop_spec();
+  HierarchicalGraph& arch = spec.architecture();
+  for (const char* cfg : {"G1", "U2", "D3"})
+    arch.set_attr(arch.find_cluster(cfg), attr::kReconfigTime, reconfig_time);
+  return spec;
+}
+
+ClusterSelection select(const HierarchicalGraph& p,
+                        std::initializer_list<const char*> clusters) {
+  ClusterSelection sel;
+  for (const char* name : clusters) sel.select(p, p.find_cluster(name));
+  return sel;
+}
+
+/// Channel surfing + gaming scenario: one segment per 100 time units.
+ActivationTimeline scenario(const HierarchicalGraph& p) {
+  ActivationTimeline tl;
+  tl.switch_at(0.0, select(p, {"gD", "gD1", "gU1"}));
+  tl.switch_at(100.0, select(p, {"gD", "gD3", "gU1"}));
+  tl.switch_at(200.0, select(p, {"gD", "gD1", "gU2"}));
+  tl.switch_at(300.0, select(p, {"gG", "gG1"}));
+  tl.switch_at(400.0, select(p, {"gI"}));
+  tl.switch_at(500.0, select(p, {"gD", "gD3", "gU1"}));
+  return tl;
+}
+
+template <typename Names>
+AllocSet alloc_of(const SpecificationGraph& spec, const Names& names) {
+  AllocSet a = spec.make_alloc_set();
+  for (const char* n : names) a.set(spec.find_unit(n).index());
+  return a;
+}
+
+AllocSet alloc_of(const SpecificationGraph& spec,
+                  std::initializer_list<const char*> names) {
+  return alloc_of<std::initializer_list<const char*>>(spec, names);
+}
+
+void print_adaptivity() {
+  bench::section("reconfiguration overhead per platform (load time = 20)");
+  {
+    const SpecificationGraph spec = annotated_settop(20.0);
+    const ActivationTimeline tl = scenario(spec.problem());
+    Table table({"platform", "switches", "overhead", "all fit"});
+    const std::vector<std::pair<std::string, std::vector<const char*>>>
+        platforms = {
+            {"FPGA-centric: uP2 C1 G1 U2 D3",
+             {"uP2", "C1", "G1", "U2", "D3"}},
+            {"ASIC-centric: uP2 A1 C2 D3 C1",
+             {"uP2", "A1", "C2", "D3", "C1"}},
+            {"everything: uP2 A1 C1 C2 D3 G1 U2",
+             {"uP2", "A1", "C1", "C2", "D3", "G1", "U2"}},
+        };
+    for (const auto& [name, units] : platforms) {
+      const auto report =
+          analyze_reconfiguration(spec, alloc_of(spec, units), tl);
+      if (!report.ok()) {
+        table.add_row({name, "-", "-", "infeasible scenario"});
+        continue;
+      }
+      table.add_row({name, std::to_string(report.value().switches()),
+                     format_double(report.value().total_overhead),
+                     report.value().all_fit() ? "yes" : "NO"});
+    }
+    std::printf("%sASIC-heavy platforms adapt with fewer reconfigurations: "
+                "alternatives live on parallel silicon instead of being "
+                "paged into one device.\n",
+                table.to_ascii().c_str());
+  }
+
+  bench::section("adaptivity headroom: max load time with every switch fitting");
+  {
+    Table table({"platform", "headroom (time units)"});
+    const std::vector<std::pair<std::string, std::vector<const char*>>>
+        platforms = {
+            {"uP2 C1 G1 U2 D3", {"uP2", "C1", "G1", "U2", "D3"}},
+            {"uP2 A1 C2 D3 C1", {"uP2", "A1", "C2", "D3", "C1"}},
+        };
+    for (const auto& [name, units] : platforms) {
+      double lo = 0.0, hi = 200.0;
+      for (int iter = 0; iter < 24; ++iter) {
+        const double mid = (lo + hi) / 2.0;
+        const SpecificationGraph spec = annotated_settop(mid);
+        const auto report = analyze_reconfiguration(
+            spec, alloc_of(spec, units), scenario(spec.problem()));
+        const bool ok = report.ok() && report.value().all_fit();
+        (ok ? lo : hi) = mid;
+      }
+      table.add_row({name, format_double(lo, 1)});
+    }
+    std::printf("%s(a switch fits when the new configuration loads within "
+                "its 100-unit segment; the last segment is unbounded)\n",
+                table.to_ascii().c_str());
+  }
+}
+
+void BM_AnalyzeReconfiguration(benchmark::State& state) {
+  const SpecificationGraph spec = annotated_settop(20.0);
+  const ActivationTimeline tl = scenario(spec.problem());
+  const AllocSet platform =
+      alloc_of(spec, {"uP2", "C1", "G1", "U2", "D3"});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analyze_reconfiguration(spec, platform, tl));
+}
+BENCHMARK(BM_AnalyzeReconfiguration);
+
+void BM_TimelineStateQuery(benchmark::State& state) {
+  const SpecificationGraph spec = annotated_settop(20.0);
+  const ActivationTimeline tl = scenario(spec.problem());
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tl.state_at(spec.problem(), t));
+    t += 37.0;
+    if (t > 600.0) t = 0.0;
+  }
+}
+BENCHMARK(BM_TimelineStateQuery);
+
+void BM_TimelineCheck(benchmark::State& state) {
+  const SpecificationGraph spec = annotated_settop(20.0);
+  const ActivationTimeline tl = scenario(spec.problem());
+  for (auto _ : state) benchmark::DoNotOptimize(tl.check(spec.problem()));
+}
+BENCHMARK(BM_TimelineCheck);
+
+}  // namespace
+}  // namespace sdf
+
+int main(int argc, char** argv) {
+  sdf::print_adaptivity();
+  return sdf::bench::run_benchmarks(argc, argv);
+}

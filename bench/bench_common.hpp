@@ -1,0 +1,36 @@
+// Shared helpers for the bench binaries.
+//
+// Every bench binary regenerates one table or figure of the paper (printed
+// as an ASCII table, always) and additionally registers google-benchmark
+// timings for the hot code paths involved.  The pattern:
+//
+//   int main(int argc, char** argv) {
+//     print_paper_artifact();                  // the reproduction
+//     benchmark::Initialize(&argc, argv);      // the timings
+//     benchmark::RunSpecifiedBenchmarks();
+//   }
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/sdf.hpp"
+
+namespace sdf::bench {
+
+/// Prints a section header in a uniform style.
+inline void section(const char* title) {
+  std::printf("\n=== %s ===\n\n", title);
+}
+
+/// Runs the google-benchmark part after the table part.
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace sdf::bench

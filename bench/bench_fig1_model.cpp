@@ -1,0 +1,106 @@
+// Fig. 1 — the hierarchical TV-decoder specification.
+//
+// Regenerates the paper's worked example around Eq. 1: the leaf set
+//   V_l(G) = {Pa, Pc} u {Pd1, Pd2, Pd3} u {Pu1, Pu2}
+// and the six flattenings (3 decryptors x 2 uncompressors) of the decoder.
+// The google-benchmark part times the structural operations (leaf
+// enumeration, flattening, validation) on hierarchies of growing size.
+#include "bench_common.hpp"
+
+namespace sdf {
+namespace {
+
+void print_fig1() {
+  const SpecificationGraph spec = models::make_tv_decoder_spec();
+  const HierarchicalGraph& p = spec.problem();
+
+  bench::section("Fig. 1: digital TV decoder, hierarchical problem graph");
+  std::printf("top level: %zu nodes (%zu interfaces), depth %zu\n",
+              p.cluster(p.root()).nodes.size(), p.all_interfaces().size(),
+              p.depth(p.root()));
+
+  bench::section("Eq. 1: leaf set V_l(G)");
+  Table leaves({"leaf", "owning cluster"});
+  for (NodeId leaf : p.leaves())
+    leaves.add_row({p.node(leaf).name, p.cluster(p.node(leaf).parent).name});
+  std::printf("%s|V_l(G)| = %zu (paper: 7)\n", leaves.to_ascii().c_str(),
+              p.leaves().size());
+
+  bench::section("cluster selections and flattenings");
+  Table flats({"selection", "active vertices", "flat edges"});
+  DynBitset all(p.cluster_count());
+  for (std::size_t i = 0; i < all.size(); ++i) all.set(i);
+  for (const Eca& eca : enumerate_ecas(p, all)) {
+    const FlatGraph flat = flatten(p, eca.selection).value();
+    std::string name;
+    for (ClusterId c : eca.clusters) {
+      if (!name.empty()) name += "+";
+      name += p.cluster(c).name;
+    }
+    std::string vertices;
+    for (NodeId v : flat.vertices) {
+      if (!vertices.empty()) vertices += ", ";
+      vertices += p.node(v).name;
+    }
+    flats.add_row({name, vertices, std::to_string(flat.edges.size())});
+  }
+  std::printf("%s6 selections (paper: 3 decryptors x 2 uncompressors)\n",
+              flats.to_ascii().c_str());
+}
+
+HierarchicalGraph make_wide_graph(std::size_t interfaces,
+                                  std::size_t clusters_each) {
+  HierarchicalGraph g("wide");
+  NodeId prev;
+  for (std::size_t i = 0; i < interfaces; ++i) {
+    const NodeId iface = g.add_interface(g.root(), "i" + std::to_string(i));
+    if (prev.valid()) g.add_edge(prev, iface);
+    prev = iface;
+    for (std::size_t c = 0; c < clusters_each; ++c) {
+      const ClusterId cid = g.add_cluster(
+          iface, "c" + std::to_string(i) + "_" + std::to_string(c));
+      g.add_vertex(cid, "v" + std::to_string(i) + "_" + std::to_string(c));
+    }
+  }
+  return g;
+}
+
+void BM_Leaves(benchmark::State& state) {
+  const HierarchicalGraph g =
+      make_wide_graph(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) benchmark::DoNotOptimize(g.leaves());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Leaves)->Range(4, 256)->Complexity(benchmark::oN);
+
+void BM_Flatten(benchmark::State& state) {
+  const HierarchicalGraph g =
+      make_wide_graph(static_cast<std::size_t>(state.range(0)), 3);
+  const ClusterSelection sel = ClusterSelection::first_of_each(g);
+  for (auto _ : state) benchmark::DoNotOptimize(flatten(g, sel));
+}
+BENCHMARK(BM_Flatten)->Range(4, 256);
+
+void BM_Validate(benchmark::State& state) {
+  const HierarchicalGraph g =
+      make_wide_graph(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) benchmark::DoNotOptimize(validate(g));
+}
+BENCHMARK(BM_Validate)->Range(4, 256);
+
+void BM_ActivationRuleCheck(benchmark::State& state) {
+  const HierarchicalGraph g =
+      make_wide_graph(static_cast<std::size_t>(state.range(0)), 3);
+  const ActivationState s = ActivationState::from_selection(
+      g, ClusterSelection::first_of_each(g));
+  for (auto _ : state) benchmark::DoNotOptimize(check_activation_rules(g, s));
+}
+BENCHMARK(BM_ActivationRuleCheck)->Range(4, 256);
+
+}  // namespace
+}  // namespace sdf
+
+int main(int argc, char** argv) {
+  sdf::print_fig1();
+  return sdf::bench::run_benchmarks(argc, argv);
+}

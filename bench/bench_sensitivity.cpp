@@ -1,0 +1,85 @@
+// Extension — which resource buys the flexibility?
+//
+// Single-unit ablation of every Pareto platform of the case study: for
+// each allocated unit, the implemented flexibility lost by removing it and
+// the resulting flexibility-per-dollar ranking.  This is the design-choice
+// ablation DESIGN.md calls out: it separates the resources that *carry*
+// flexibility (alternative hosts) from connective tissue (buses) and from
+// redundancy.
+#include "bench_common.hpp"
+
+namespace sdf {
+namespace {
+
+void print_sensitivity() {
+  const SpecificationGraph spec = models::make_settop_spec();
+  const ExploreResult result = explore(spec);
+
+  bench::section("single-unit ablation of every Pareto platform");
+  Table table({"platform", "unit", "$", "f loss", "loss per $", "verdict"});
+  for (const Implementation& impl : result.front) {
+    const SensitivityReport report =
+        flexibility_sensitivity(spec, impl.units);
+    bool first = true;
+    for (const UnitSensitivity& u : report.units) {
+      std::string verdict = "redundant";
+      if (u.critical)
+        verdict = "critical";
+      else if (u.flexibility_loss > 0)
+        verdict = "flexibility carrier";
+      table.add_row({first ? spec.allocation_names(impl.units) +
+                                 " (f=" + format_double(impl.flexibility) + ")"
+                           : "",
+                     spec.alloc_units()[u.unit.index()].name,
+                     format_double(u.cost), format_double(u.flexibility_loss),
+                     format_double(u.loss_per_cost, 4), verdict});
+      first = false;
+    }
+  }
+  std::printf("%s", table.to_ascii().c_str());
+
+  bench::section("flexibility-per-dollar ranking on the full universe");
+  AllocSet all = spec.make_alloc_set();
+  for (std::size_t i = 0; i < spec.alloc_units().size(); ++i) all.set(i);
+  const SensitivityReport full = flexibility_sensitivity(spec, all);
+  Table ranking({"rank", "unit", "f loss", "loss per $"});
+  std::size_t rank = 1;
+  for (const UnitSensitivity& u : full.units) {
+    ranking.add_row({std::to_string(rank++),
+                     spec.alloc_units()[u.unit.index()].name,
+                     format_double(u.flexibility_loss),
+                     format_double(u.loss_per_cost, 4)});
+  }
+  std::printf("%son the full universe almost every resource is replaceable "
+              "(loss 0); only uP2 (the sole bridge to the ASIC-hosted game "
+              "classes) and D3 (the sole host of the third decryptor) are "
+              "not.\n",
+              ranking.to_ascii().c_str());
+}
+
+void BM_SensitivityCaseStudy(benchmark::State& state) {
+  const SpecificationGraph spec = models::make_settop_spec();
+  AllocSet platform = spec.make_alloc_set();
+  for (const char* n : {"uP2", "A1", "C1", "C2", "D3"})
+    platform.set(spec.find_unit(n).index());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(flexibility_sensitivity(spec, platform));
+}
+BENCHMARK(BM_SensitivityCaseStudy);
+
+void BM_SensitivityFullUniverse(benchmark::State& state) {
+  const SpecificationGraph spec = models::make_settop_spec();
+  AllocSet all = spec.make_alloc_set();
+  for (std::size_t i = 0; i < spec.alloc_units().size(); ++i) all.set(i);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(flexibility_sensitivity(spec, all));
+}
+BENCHMARK(BM_SensitivityFullUniverse);
+
+}  // namespace
+}  // namespace sdf
+
+int main(int argc, char** argv) {
+  sdf::print_sensitivity();
+  return sdf::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,96 @@
+// Extension — incremental platform design (the Pop-et-al. scenario of the
+// paper's related work, §1).
+//
+// For every Pareto platform of the case study, treat it as deployed and
+// ask: what are the Pareto-optimal *upgrades* (supersets, priced by the
+// added resources only)?  This regenerates the upgrade lattice the paper's
+// flexibility metric implies: buying flexibility early (a more expensive
+// initial platform) versus upgrading later.
+#include "bench_common.hpp"
+
+namespace sdf {
+namespace {
+
+void print_upgrades() {
+  const SpecificationGraph spec = models::make_settop_spec();
+  const ExploreResult plain = explore(spec);
+
+  bench::section("upgrade fronts from each deployed case-study platform");
+  Table table({"deployed ($, f)", "upgrade steps (added units -> +$ -> f)"});
+  for (const Implementation& base : plain.front) {
+    const UpgradeResult r = explore_upgrades(spec, base.units);
+    std::string steps;
+    for (const Upgrade& u : r.front) {
+      AllocSet added = u.implementation.units;
+      added -= base.units;
+      if (!steps.empty()) steps += " | ";
+      steps += spec.allocation_names(added) + " -> +$" +
+               format_double(u.upgrade_cost) + " -> f=" +
+               format_double(u.implementation.flexibility);
+    }
+    if (steps.empty()) steps = "(already maximal)";
+    table.add_row({"$" + format_double(base.cost) + ", f=" +
+                       format_double(base.flexibility),
+                   steps});
+  }
+  std::printf("%s", table.to_ascii().c_str());
+
+  bench::section("buy-early vs upgrade-later");
+  // Total cost of reaching f=8 from each starting platform.
+  Table totals({"start platform", "initial $", "upgrade $", "total $",
+                "premium vs $430"});
+  for (const Implementation& base : plain.front) {
+    const UpgradeResult r = explore_upgrades(spec, base.units);
+    const double upgrade =
+        r.front.empty() ? 0.0 : r.front.back().upgrade_cost;
+    const double total = base.cost + upgrade;
+    totals.add_row({spec.allocation_names(base.units),
+                    format_double(base.cost), format_double(upgrade),
+                    format_double(total),
+                    format_double(total - 430.0)});
+  }
+  std::printf("%sthe $120 uP1 start is a dead end: its full upgrade costs "
+              "more than discarding flexibility bought early.\n",
+              totals.to_ascii().c_str());
+}
+
+void BM_UpgradeFromUp2(benchmark::State& state) {
+  const SpecificationGraph spec = models::make_settop_spec();
+  AllocSet base = spec.make_alloc_set();
+  base.set(spec.find_unit("uP2").index());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(explore_upgrades(spec, base));
+}
+BENCHMARK(BM_UpgradeFromUp2);
+
+void BM_UpgradeVsFullExplore(benchmark::State& state) {
+  // Upgrading explores a smaller residual universe than exploring from
+  // scratch; this quantifies the saving.
+  const SpecificationGraph spec = models::make_settop_spec();
+  const ExploreResult plain = explore(spec);
+  const AllocSet base = plain.front[3].units;  // the $290 platform
+  for (auto _ : state)
+    benchmark::DoNotOptimize(explore_upgrades(spec, base));
+}
+BENCHMARK(BM_UpgradeVsFullExplore);
+
+void BM_UpgradeSynthetic(benchmark::State& state) {
+  GeneratorParams params;
+  params.seed = 3;
+  params.applications = 3;
+  const SpecificationGraph spec = generate_spec(params);
+  const ExploreResult plain = explore(spec);
+  const AllocSet base =
+      plain.front.empty() ? spec.make_alloc_set() : plain.front.front().units;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(explore_upgrades(spec, base));
+}
+BENCHMARK(BM_UpgradeSynthetic);
+
+}  // namespace
+}  // namespace sdf
+
+int main(int argc, char** argv) {
+  sdf::print_upgrades();
+  return sdf::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,108 @@
+// A product-planning session on the Set-Top box family: the follow-up
+// questions a platform architect asks once the Pareto front exists.
+//
+//   1. "What does a $250 budget buy?"            -> budget query
+//   2. "What does flexibility level 7 cost?"     -> target query
+//   3. "Which parts of the chosen platform carry the flexibility?"
+//                                                -> sensitivity analysis
+//   4. "If demand grows, what is the upgrade path from that platform?"
+//                                                -> incremental explorer
+//   5. "Our ASIC quote is uncertain ($200-$400) — which decisions are
+//       robust?"                                 -> uncertain exploration
+//
+//   $ ./budget_planner [budget] [target_flexibility]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/sdf.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdf;
+  const double budget = argc > 1 ? std::strtod(argv[1], nullptr) : 250.0;
+  const double target = argc > 2 ? std::strtod(argv[2], nullptr) : 7.0;
+
+  const SpecificationGraph spec = models::make_settop_spec();
+  const ExploreResult front = explore(spec);
+
+  // ---- 1. budget query ----
+  std::printf("Q1: best platform within $%g?\n", budget);
+  if (const Implementation* best =
+          max_flexibility_within_budget(front, budget)) {
+    std::printf("    %s — $%g, flexibility %g\n\n",
+                spec.allocation_names(best->units).c_str(), best->cost,
+                best->flexibility);
+  } else {
+    std::printf("    nothing feasible under that budget\n\n");
+  }
+
+  // ---- 1b. the knee, if no budget is given ----
+  if (const auto knee = knee_index(front.tradeoff_curve())) {
+    const Implementation& k = front.front[*knee];
+    std::printf("    (knee of the whole curve: %s at $%g, f=%g)\n\n",
+                spec.allocation_names(k.units).c_str(), k.cost,
+                k.flexibility);
+  }
+
+  // ---- 2. target query ----
+  std::printf("Q2: cheapest platform with flexibility >= %g?\n", target);
+  const Implementation* chosen = min_cost_for_flexibility(front, target);
+  if (chosen == nullptr) {
+    std::printf("    unreachable (max is %g)\n", front.max_flexibility);
+    return 0;
+  }
+  std::printf("    %s — $%g, flexibility %g\n\n",
+              spec.allocation_names(chosen->units).c_str(), chosen->cost,
+              chosen->flexibility);
+
+  // ---- 3. sensitivity ----
+  std::printf("Q3: what carries that platform's flexibility?\n");
+  const SensitivityReport sens = flexibility_sensitivity(spec, chosen->units);
+  Table st({"unit", "cost", "flexibility lost if removed", "verdict"});
+  for (const UnitSensitivity& u : sens.units) {
+    st.add_row({spec.alloc_units()[u.unit.index()].name,
+                format_double(u.cost), format_double(u.flexibility_loss),
+                u.critical ? "critical"
+                           : (u.flexibility_loss > 0 ? "carrier"
+                                                     : "redundant")});
+  }
+  std::printf("%s\n", st.to_ascii().c_str());
+
+  // ---- 4. upgrade path ----
+  std::printf("Q4: upgrade path from that platform?\n");
+  const UpgradeResult up = explore_upgrades(spec, chosen->units);
+  if (up.front.empty()) {
+    std::printf("    already maximal (f = %g)\n\n", up.baseline_flexibility);
+  } else {
+    Table ut({"add", "upgrade cost", "new flexibility"});
+    for (const Upgrade& u : up.front) {
+      AllocSet added = u.implementation.units;
+      added -= chosen->units;
+      ut.add_row({spec.allocation_names(added),
+                  "$" + format_double(u.upgrade_cost),
+                  format_double(u.implementation.flexibility)});
+    }
+    std::printf("%s\n", ut.to_ascii().c_str());
+  }
+
+  // ---- 5. robustness under cost uncertainty ----
+  std::printf("Q5: with the A1 quote uncertain in [200, 400], which "
+              "platforms stay defensible?\n");
+  SpecificationGraph risky = models::make_settop_spec();
+  risky.architecture().set_attr(risky.architecture().find_node("A1"),
+                                attr::kCostLo, 200.0);
+  risky.architecture().set_attr(risky.architecture().find_node("A1"),
+                                attr::kCostHi, 400.0);
+  const UncertainExploreResult uncertain = explore_uncertain(risky);
+  Table qt({"resources", "cost range", "f"});
+  for (const UncertainPoint& p : uncertain.front) {
+    qt.add_row({risky.allocation_names(p.implementation.units),
+                "[" + format_double(p.cost.lo) + ", " +
+                    format_double(p.cost.hi) + "]",
+                format_double(p.implementation.flexibility)});
+  }
+  std::printf("%s%zu designs are non-dominated under the uncertainty "
+              "(crisp front had %zu).\n",
+              qt.to_ascii().c_str(), uncertain.front.size(),
+              front.front.size());
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Platform dimensioning at scale: exact exploration vs. heuristics on a
+// synthetic product family.
+//
+// Generates a synthetic specification (4 applications, richer platform)
+// with the seeded generator, then answers the platform-dimensioning
+// question three ways:
+//   1. EXPLORE          — exact Pareto front with pruning statistics,
+//   2. exhaustive       — the 2^n baseline the paper calls non-viable,
+//   3. evolutionary     — a Blickle-style heuristic, judged by hypervolume
+//                         and additive-epsilon against the exact front.
+//
+//   $ ./platform_dimensioning [seed]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/sdf.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdf;
+
+  GeneratorParams params;
+  params.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2026;
+  params.applications = 4;
+  params.processors = 2;
+  params.accelerators = 2;
+  params.fpga_configs = 2;
+  params.interfaces_per_app_max = 2;
+  const SpecificationGraph spec = generate_spec(params);
+
+  std::printf("synthetic family (seed %llu): %zu processes, %zu clusters, "
+              "%zu allocatable units (2^%zu = %.0f raw points)\n\n",
+              static_cast<unsigned long long>(params.seed),
+              spec.problem().leaves().size(),
+              spec.problem().all_refinement_clusters().size(),
+              spec.alloc_units().size(), spec.alloc_units().size(),
+              std::pow(2.0, static_cast<double>(spec.alloc_units().size())));
+
+  // ---- 1. EXPLORE. ----
+  const ExploreResult exact = explore(spec);
+  std::printf("EXPLORE: %zu Pareto points in %.1f ms "
+              "(%llu binding attempts, %llu branches pruned)\n",
+              exact.front.size(), exact.stats.wall_seconds * 1e3,
+              static_cast<unsigned long long>(
+                  exact.stats.implementation_attempts),
+              static_cast<unsigned long long>(exact.stats.branches_pruned));
+  Table table({"cost", "f", "resources"});
+  for (const Implementation& impl : exact.front)
+    table.add_row({format_double(impl.cost), format_double(impl.flexibility),
+                   spec.allocation_names(impl.units)});
+  std::printf("%s\n", table.to_ascii().c_str());
+
+  // ---- 2. Exhaustive baseline (if tractable). ----
+  if (spec.alloc_units().size() <= 15) {
+    const ExhaustiveResult brute = explore_exhaustive(spec);
+    std::printf("exhaustive: %zu Pareto points in %.1f ms "
+                "(%llu implementation attempts) -> speedup %.1fx\n\n",
+                brute.front.size(), brute.stats.wall_seconds * 1e3,
+                static_cast<unsigned long long>(
+                    brute.stats.implementation_attempts),
+                brute.stats.wall_seconds /
+                    std::max(exact.stats.wall_seconds, 1e-9));
+  } else {
+    std::printf("exhaustive: skipped (universe too large)\n\n");
+  }
+
+  // ---- 3. Evolutionary heuristic. ----
+  const double ref_cost = exact.front.back().cost * 1.5;
+  const double ref_inv_flex = 1.0;  // f >= 1 on any feasible point
+  const double hv_exact =
+      hypervolume(exact.tradeoff_curve(), ref_cost, ref_inv_flex);
+
+  std::printf("evolutionary baseline vs exact front "
+              "(reference point: cost=%.0f, 1/f=%.0f):\n",
+              ref_cost, ref_inv_flex);
+  Table ea_table({"generations", "evals", "front", "hypervolume ratio",
+                  "eps to exact"});
+  for (std::size_t generations : {5u, 20u, 60u}) {
+    EaOptions ea;
+    ea.seed = params.seed;
+    ea.population = 24;
+    ea.generations = generations;
+    const EaResult heuristic = explore_evolutionary(spec, ea);
+    std::vector<ParetoPoint> pts;
+    for (std::size_t i = 0; i < heuristic.front.size(); ++i)
+      pts.push_back(ParetoPoint{heuristic.front[i].cost,
+                                1.0 / heuristic.front[i].flexibility, i});
+    const double hv = hypervolume(pts, ref_cost, ref_inv_flex);
+    const double eps = additive_epsilon(exact.tradeoff_curve(), pts);
+    ea_table.add_row({std::to_string(generations),
+                      std::to_string(heuristic.stats.evaluations),
+                      std::to_string(pts.size()),
+                      format_double(hv / std::max(hv_exact, 1e-12), 3),
+                      format_double(eps, 3)});
+  }
+  std::printf("%s\n", ea_table.to_ascii().c_str());
+  std::printf("hypervolume ratio -> 1 and eps -> 0 as the heuristic "
+              "approaches the exact front; only EXPLORE certifies it.\n");
+  return 0;
+}

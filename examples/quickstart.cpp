@@ -1,0 +1,70 @@
+// Quickstart: model a tiny flexible system and explore its
+// flexibility/cost tradeoff.
+//
+// The system is a media player that must decode either of two codecs
+// (interface "codec" with alternatives mp3/aac) on a platform of one CPU
+// and one optional DSP connected by a bus.  More allocated hardware ->
+// more implementable alternatives -> more flexibility, at higher cost.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/sdf.hpp"
+
+int main() {
+  using namespace sdf;
+
+  // ---- 1. Describe the behavior (problem graph). ----
+  SpecBuilder b("media_player");
+  const NodeId ui = b.process("ui");            // always present
+  const NodeId codec = b.interface("codec");    // variation point
+  const NodeId out = b.process("audio_out");
+  b.depends(ui, codec);
+  b.depends(codec, out);
+
+  const ClusterId mp3 = b.alternative(codec, "mp3");
+  const NodeId mp3_dec = b.process("mp3_decode", mp3);
+  const ClusterId aac = b.alternative(codec, "aac");
+  const NodeId aac_dec = b.process("aac_decode", aac);
+
+  // The output stage must sustain one buffer every 100 time units.
+  b.timing(out, 100.0);
+  b.timing(mp3_dec, 100.0);
+  b.timing(aac_dec, 100.0);
+
+  // ---- 2. Describe the platform (architecture graph). ----
+  const NodeId cpu = b.resource("cpu", 80.0);
+  const NodeId dsp = b.resource("dsp", 45.0);
+  b.bus("bus", 10.0, {cpu, dsp});
+
+  // ---- 3. Say what can run where, and how fast (mapping edges). ----
+  b.map(ui, cpu, 5.0);
+  b.map(out, cpu, 10.0);
+  b.map(mp3_dec, cpu, 50.0);
+  b.map(mp3_dec, dsp, 20.0);
+  b.map(aac_dec, dsp, 30.0);  // AAC only fits the DSP
+  SpecificationGraph spec = b.build();
+
+  // ---- 4. Explore the flexibility/cost design space. ----
+  const ExploreResult result = explore(spec);
+
+  std::printf("media player: maximal flexibility f_max = %.0f\n\n",
+              result.max_flexibility);
+  Table table({"cost", "flexibility", "allocated resources", "codecs"});
+  for (const Implementation& impl : result.front) {
+    std::string codecs;
+    for (ClusterId c : impl.leaf_clusters(spec.problem())) {
+      if (!codecs.empty()) codecs += "+";
+      codecs += spec.problem().cluster(c).name;
+    }
+    table.add_row({format_double(impl.cost), format_double(impl.flexibility),
+                   spec.allocation_names(impl.units), codecs});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+
+  std::printf(
+      "%llu of %.0f raw design points reached the binding solver.\n",
+      static_cast<unsigned long long>(result.stats.implementation_attempts),
+      result.stats.raw_design_points);
+  return 0;
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local verification: configure, build, test, run every bench's table
+# part.  Mirrors what CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/bench_*; do
+  echo "==================== ${b##*/} ===================="
+  "$b" --benchmark_min_time=0.01
+done
+
+echo "ALL CHECKS PASSED"

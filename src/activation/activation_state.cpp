@@ -1,0 +1,113 @@
+#include "activation/activation_state.hpp"
+
+#include "util/strings.hpp"
+
+namespace sdf {
+
+ActivationState ActivationState::empty_for(const HierarchicalGraph& g) {
+  ActivationState s;
+  s.nodes = DynBitset(g.node_count());
+  s.clusters = DynBitset(g.cluster_count());
+  s.edges = DynBitset(g.edge_count());
+  return s;
+}
+
+ActivationState ActivationState::from_selection(
+    const HierarchicalGraph& g, const ClusterSelection& selection) {
+  ActivationState s = empty_for(g);
+  std::vector<ClusterId> stack{g.root()};
+  while (!stack.empty()) {
+    const ClusterId cid = stack.back();
+    stack.pop_back();
+    s.clusters.set(cid.index());
+    const Cluster& c = g.cluster(cid);
+    for (NodeId nid : c.nodes) {
+      s.nodes.set(nid.index());
+      const Node& n = g.node(nid);
+      if (n.is_interface()) {
+        const ClusterId chosen = selection.selected(nid);
+        if (chosen.valid()) stack.push_back(chosen);
+      }
+    }
+    for (EdgeId eid : c.edges) s.edges.set(eid.index());
+  }
+  return s;
+}
+
+std::vector<ActivationViolation> check_activation_rules(
+    const HierarchicalGraph& g, const ActivationState& state) {
+  std::vector<ActivationViolation> out;
+  auto violate = [&](int rule, std::string msg) {
+    out.push_back(ActivationViolation{rule, std::move(msg)});
+  };
+
+  // Rule 1: each activated interface has exactly one activated cluster.
+  for (const Node& n : g.nodes()) {
+    if (!n.is_interface() || !state.node_active(n.id)) continue;
+    std::size_t active = 0;
+    for (ClusterId cid : n.clusters)
+      if (state.cluster_active(cid)) ++active;
+    if (active != 1)
+      violate(1, strprintf("interface '%s' has %zu activated clusters",
+                           n.name.c_str(), active));
+  }
+  // Clusters of inactive interfaces must not be active.
+  for (const Cluster& c : g.clusters()) {
+    if (c.is_root() || !state.cluster_active(c.id)) continue;
+    if (!state.node_active(c.parent))
+      violate(1, strprintf("cluster '%s' active but its interface is not",
+                           c.name.c_str()));
+  }
+
+  // Rule 2: an activated cluster activates all embedded vertices and edges.
+  for (const Cluster& c : g.clusters()) {
+    const bool active = c.is_root() ? true : state.cluster_active(c.id);
+    if (!active) continue;
+    for (NodeId nid : c.nodes)
+      if (!state.node_active(nid))
+        violate(2, strprintf("cluster '%s' active but node '%s' is not",
+                             c.name.c_str(), g.node(nid).name.c_str()));
+    for (EdgeId eid : c.edges)
+      if (!state.edge_active(eid))
+        violate(2, strprintf("cluster '%s' active but edge #%u is not",
+                             c.name.c_str(), eid.value()));
+  }
+  // Conversely, nodes of inactive clusters must be inactive.
+  for (const Node& n : g.nodes()) {
+    if (!state.node_active(n.id)) continue;
+    const Cluster& c = g.cluster(n.parent);
+    const bool parent_active = c.is_root() || state.cluster_active(c.id);
+    if (!parent_active)
+      violate(2, strprintf("node '%s' active inside inactive cluster '%s'",
+                           n.name.c_str(), c.name.c_str()));
+  }
+
+  // Rule 3: every activated edge starts and ends at activated vertices.
+  for (const Edge& e : g.edges()) {
+    if (!state.edge_active(e.id)) continue;
+    if (!state.node_active(e.from) || !state.node_active(e.to))
+      violate(3, strprintf("edge #%u active with inactive endpoint",
+                           e.id.value()));
+  }
+
+  // Rule 4: all top-level vertices and interfaces are activated.
+  for (NodeId nid : g.cluster(g.root()).nodes)
+    if (!state.node_active(nid))
+      violate(4, strprintf("top-level node '%s' not activated",
+                           g.node(nid).name.c_str()));
+
+  return out;
+}
+
+ClusterSelection selection_from_state(const HierarchicalGraph& g,
+                                      const ActivationState& state) {
+  ClusterSelection sel;
+  for (const Node& n : g.nodes()) {
+    if (!n.is_interface() || !state.node_active(n.id)) continue;
+    for (ClusterId cid : n.clusters)
+      if (state.cluster_active(cid)) sel.select(g, cid);
+  }
+  return sel;
+}
+
+}  // namespace sdf

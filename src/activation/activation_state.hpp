@@ -1,0 +1,67 @@
+// Hierarchical activation (§2).
+//
+// "The hierarchical activation of a specification graph is a boolean
+// function that assigns to each edge and to each vertex the value 1
+// (activated) or 0 (not activated) at a given time t."
+//
+// `ActivationState` is that boolean function for one instant: bitsets over
+// the nodes, clusters and edges of one hierarchical graph.  States can be
+// derived from a `ClusterSelection` (always rule-consistent) or assembled
+// manually and checked against the paper's four activation rules:
+//
+//  1. An activated interface activates exactly one associated cluster.
+//  2. An activated cluster activates all its embedded vertices and edges.
+//  3. Every activated edge starts and ends at an activated vertex.
+//  4. All top-level vertices and interfaces are activated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/flatten.hpp"
+#include "graph/hierarchical_graph.hpp"
+#include "util/dyn_bitset.hpp"
+
+namespace sdf {
+
+struct ActivationState {
+  DynBitset nodes;     ///< indexed by NodeId
+  DynBitset clusters;  ///< indexed by ClusterId (root always set)
+  DynBitset edges;     ///< indexed by EdgeId
+
+  [[nodiscard]] bool node_active(NodeId n) const {
+    return nodes.test(n.index());
+  }
+  [[nodiscard]] bool cluster_active(ClusterId c) const {
+    return clusters.test(c.index());
+  }
+  [[nodiscard]] bool edge_active(EdgeId e) const {
+    return edges.test(e.index());
+  }
+
+  /// Empty (all-inactive) state sized for `g`.
+  [[nodiscard]] static ActivationState empty_for(const HierarchicalGraph& g);
+
+  /// The rule-consistent state induced by `selection`: the root cluster plus
+  /// everything reachable through selected clusters (rules 1 and 2).
+  [[nodiscard]] static ActivationState from_selection(
+      const HierarchicalGraph& g, const ClusterSelection& selection);
+};
+
+/// One violated activation rule.
+struct ActivationViolation {
+  int rule;  ///< 1..4 as listed in the paper
+  std::string message;
+};
+
+/// Checks `state` against the four hierarchical-activation rules of §2.
+/// Returns all violations (empty = consistent).
+[[nodiscard]] std::vector<ActivationViolation> check_activation_rules(
+    const HierarchicalGraph& g, const ActivationState& state);
+
+/// Extracts the cluster selection encoded in a rule-consistent state.
+/// Interfaces that are inactive are left unassigned.
+[[nodiscard]] ClusterSelection selection_from_state(
+    const HierarchicalGraph& g, const ActivationState& state);
+
+}  // namespace sdf

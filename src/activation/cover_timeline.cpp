@@ -1,0 +1,17 @@
+#include "activation/cover_timeline.hpp"
+
+namespace sdf {
+
+ActivationTimeline make_cover_timeline(const HierarchicalGraph& problem,
+                                       const Implementation& impl,
+                                       double dwell, double start) {
+  ActivationTimeline timeline;
+  double t = start;
+  for (const Eca& eca : impl.minimal_cover(problem)) {
+    timeline.switch_at(t, eca.selection);
+    t += dwell;
+  }
+  return timeline;
+}
+
+}  // namespace sdf

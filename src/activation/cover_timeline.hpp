@@ -1,0 +1,24 @@
+// Building timed activations from implementations.
+//
+// An implementation carries the feasible elementary activations the system
+// may switch between; `make_cover_timeline` turns a minimal coverage of
+// the implemented clusters into a concrete round-robin `ActivationTimeline`
+// — one segment of `dwell` time units per covering activation.  The result
+// is the canonical witness that the implementation's flexibility is
+// *temporally* realizable: every implemented cluster is active during some
+// segment, and every segment satisfies the activation rules.
+#pragma once
+
+#include "activation/timeline.hpp"
+#include "bind/implementation.hpp"
+
+namespace sdf {
+
+/// Round-robin timeline over a minimal ECA coverage of `impl`, starting at
+/// `start`, with `dwell` time units per activation.  Returns an empty
+/// timeline when the implementation has no feasible activation.
+[[nodiscard]] ActivationTimeline make_cover_timeline(
+    const HierarchicalGraph& problem, const Implementation& impl,
+    double dwell = 100.0, double start = 0.0);
+
+}  // namespace sdf

@@ -1,0 +1,53 @@
+#include "activation/timeline.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace sdf {
+
+void ActivationTimeline::switch_at(double time, ClusterSelection selection) {
+  SDF_CHECK(segments_.empty() || segments_.back().time < time,
+            "timeline switch points must be strictly increasing");
+  segments_.push_back(Segment{time, std::move(selection)});
+}
+
+std::optional<ClusterSelection> ActivationTimeline::selection_at(
+    double t) const {
+  const auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](double value, const Segment& s) { return value < s.time; });
+  if (it == segments_.begin()) return std::nullopt;
+  return std::prev(it)->selection;
+}
+
+std::optional<ActivationState> ActivationTimeline::state_at(
+    const HierarchicalGraph& g, double t) const {
+  const std::optional<ClusterSelection> sel = selection_at(t);
+  if (!sel.has_value()) return std::nullopt;
+  return ActivationState::from_selection(g, *sel);
+}
+
+Status ActivationTimeline::check(const HierarchicalGraph& g) const {
+  for (const Segment& seg : segments_) {
+    const ActivationState state =
+        ActivationState::from_selection(g, seg.selection);
+    const auto violations = check_activation_rules(g, state);
+    if (!violations.empty()) {
+      return Error{strprintf("activation at t=%s violates rule %d: %s",
+                             format_double(seg.time).c_str(),
+                             violations.front().rule,
+                             violations.front().message.c_str())};
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<double> ActivationTimeline::switch_times() const {
+  std::vector<double> out;
+  out.reserve(segments_.size());
+  for (const Segment& s : segments_) out.push_back(s.time);
+  return out;
+}
+
+}  // namespace sdf

@@ -1,0 +1,59 @@
+// Timed activation: piecewise-constant cluster selections over t in T (= R).
+//
+// "In order to avoid a loss of generality, we do not restrict
+// cluster-selection to system start-up.  Thus, reconfigurable and adaptive
+// systems may be modeled via time-dependent switching of clusters."  (§2)
+//
+// An `ActivationTimeline` is a sequence of switch points; between switches
+// the selection (and thus the activation, allocation and binding) is
+// constant.  This realizes the paper's timed activation a(t) for
+// right-continuous, finitely-switching behaviors — the class every
+// run-time-adaptive system in the paper belongs to.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "activation/activation_state.hpp"
+#include "graph/flatten.hpp"
+
+namespace sdf {
+
+class ActivationTimeline {
+ public:
+  /// A switch: from `time` (inclusive) onwards, `selection` applies.
+  struct Segment {
+    double time;
+    ClusterSelection selection;
+  };
+
+  ActivationTimeline() = default;
+
+  /// Appends a switch point; times must be strictly increasing.
+  void switch_at(double time, ClusterSelection selection);
+
+  [[nodiscard]] const std::vector<Segment>& segments() const {
+    return segments_;
+  }
+  [[nodiscard]] bool empty() const { return segments_.empty(); }
+
+  /// The selection in effect at time `t` (right-continuous); `nullopt`
+  /// before the first switch point.
+  [[nodiscard]] std::optional<ClusterSelection> selection_at(double t) const;
+
+  /// The activation state at time `t`; `nullopt` before the first switch.
+  [[nodiscard]] std::optional<ActivationState> state_at(
+      const HierarchicalGraph& g, double t) const;
+
+  /// Checks every segment's induced activation against the hierarchical
+  /// activation rules; reports the time of the first violating segment.
+  [[nodiscard]] Status check(const HierarchicalGraph& g) const;
+
+  /// All switch times, ascending.
+  [[nodiscard]] std::vector<double> switch_times() const;
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace sdf

@@ -1,0 +1,97 @@
+#include "bind/enumerate.hpp"
+
+namespace sdf {
+namespace {
+
+/// Full feasibility check of a complete binding, mirroring the solver's
+/// constraints but evaluated monolithically.
+bool feasible_binding(const SpecificationGraph& spec, const AllocSet& alloc,
+                      const FlatGraph& flat, const Binding& binding,
+                      const SolverOptions& options) {
+  if (!check_binding(spec, alloc, flat, binding, options.comm_model).ok())
+    return false;
+
+  if (options.exclusive_configurations) {
+    // At most one configuration per device across the whole binding.
+    std::vector<std::pair<NodeId, ClusterId>> devices;
+    for (const BindingAssignment& a : binding.assignments()) {
+      const AllocUnit& u = spec.alloc_units()[a.unit.index()];
+      if (!u.is_cluster_unit()) continue;
+      for (const auto& [dev, cfg] : devices)
+        if (dev == u.top && cfg != u.cluster) return false;
+      devices.emplace_back(u.top, u.cluster);
+    }
+  }
+
+  if (options.utilization_bound > 0.0) {
+    const std::vector<double> util = unit_utilizations(spec, binding);
+    for (double u : util)
+      if (u > options.utilization_bound + 1e-9) return false;
+  }
+
+  if (options.enforce_capacities) {
+    const std::vector<double> used = unit_footprints(spec, binding);
+    for (std::size_t i = 0; i < used.size(); ++i) {
+      const double capacity = unit_capacity(spec, AllocUnitId{i});
+      if (capacity > 0.0 && used[i] > capacity + 1e-9) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+BindingEnumeration enumerate_bindings(const SpecificationGraph& spec,
+                                      const AllocSet& alloc, const Eca& eca,
+                                      const SolverOptions& options,
+                                      std::size_t max_feasible) {
+  BindingEnumeration result;
+  const Result<FlatGraph> flat = flatten(spec.problem(), eca.selection);
+  if (!flat.ok()) return result;
+
+  // Domains: allocated mapping targets per process.
+  struct Target {
+    NodeId resource;
+    AllocUnitId unit;
+    double latency;
+  };
+  std::vector<NodeId> processes = flat.value().vertices;
+  std::vector<std::vector<Target>> domains(processes.size());
+  for (std::size_t i = 0; i < processes.size(); ++i) {
+    for (const MappingEdge& m : spec.mappings_of(processes[i])) {
+      const AllocUnitId u = spec.unit_of_resource(m.resource);
+      if (u.valid() && alloc.test(u.index()))
+        domains[i].push_back(Target{m.resource, u, m.latency});
+    }
+    if (domains[i].empty()) return result;  // no complete assignment at all
+  }
+
+  std::vector<std::size_t> choice(processes.size(), 0);
+  while (true) {
+    Binding binding;
+    for (std::size_t i = 0; i < processes.size(); ++i) {
+      const Target& t = domains[i][choice[i]];
+      binding.assign(
+          BindingAssignment{processes[i], t.resource, t.unit, t.latency});
+    }
+    ++result.assignments;
+    if (feasible_binding(spec, alloc, flat.value(), binding, options)) {
+      if (max_feasible != 0 && result.feasible.size() >= max_feasible) {
+        result.truncated = true;
+        return result;
+      }
+      result.feasible.push_back(std::move(binding));
+    }
+
+    // Odometer increment.
+    std::size_t pos = 0;
+    while (pos < processes.size() && ++choice[pos] == domains[pos].size()) {
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == processes.size()) break;
+  }
+  return result;
+}
+
+}  // namespace sdf

@@ -1,0 +1,67 @@
+#include "bind/implementation.hpp"
+
+#include <algorithm>
+
+#include "flex/activatability.hpp"
+#include "flex/flexibility.hpp"
+
+namespace sdf {
+
+std::vector<ClusterId> Implementation::leaf_clusters(
+    const HierarchicalGraph& problem) const {
+  std::vector<ClusterId> out;
+  implemented_clusters.for_each([&](std::size_t i) {
+    const Cluster& c = problem.cluster(ClusterId{i});
+    if (c.is_root()) return;
+    for (NodeId nid : c.nodes)
+      if (problem.node(nid).is_interface()) return;
+    out.push_back(c.id);
+  });
+  return out;
+}
+
+std::vector<Eca> Implementation::minimal_cover(
+    const HierarchicalGraph& problem) const {
+  std::vector<Eca> feasible;
+  feasible.reserve(ecas.size());
+  for (const FeasibleEca& fe : ecas) feasible.push_back(fe.eca);
+  return cover_ecas(problem, feasible);
+}
+
+std::optional<Implementation> build_implementation(
+    const SpecificationGraph& spec, const AllocSet& alloc,
+    const ImplementationOptions& options, ImplementationStats* stats) {
+  ImplementationStats local;
+  ImplementationStats& st = stats != nullptr ? *stats : local;
+
+  const Activatability act(spec, alloc);
+  if (!act.root_activatable()) return std::nullopt;
+
+  const std::vector<Eca> ecas =
+      enumerate_ecas(spec.problem(), act.clusters(), options.eca_limit);
+  st.ecas_enumerated += ecas.size();
+  if (ecas.empty()) return std::nullopt;
+
+  Implementation impl;
+  impl.units = alloc;
+  impl.cost = spec.allocation_cost(alloc);
+  impl.implemented_clusters = spec.problem().make_cluster_set();
+
+  for (const Eca& eca : ecas) {
+    SolverStats ss;
+    ++st.solver_calls;
+    std::optional<Binding> binding =
+        solve_binding(spec, alloc, eca, options.solver, &ss);
+    st.solver_nodes += ss.nodes;
+    if (!binding.has_value()) continue;
+    for (ClusterId c : eca.clusters)
+      impl.implemented_clusters.set(c.index());
+    impl.ecas.push_back(FeasibleEca{eca, std::move(*binding)});
+  }
+
+  if (impl.ecas.empty()) return std::nullopt;
+  impl.flexibility = flexibility(spec.problem(), impl.implemented_clusters);
+  return impl;
+}
+
+}  // namespace sdf

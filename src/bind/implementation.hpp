@@ -1,0 +1,76 @@
+// Implementations: feasible allocation + bindings + implemented flexibility.
+//
+// "A feasible implementation consists of a feasible allocation and a
+// corresponding feasible binding." (§2)  Because the system switches
+// behavior over time, an implementation here carries one feasible binding
+// per feasible *elementary cluster activation*; a cluster counts towards
+// the implemented flexibility iff it occurs in at least one feasible,
+// timing-valid elementary activation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bind/eca.hpp"
+#include "bind/solver.hpp"
+#include "spec/specification.hpp"
+
+namespace sdf {
+
+/// One elementary cluster activation together with its feasible binding.
+struct FeasibleEca {
+  Eca eca;
+  Binding binding;
+};
+
+/// A feasible implementation of a specification on one allocation.
+struct Implementation {
+  AllocSet units;
+  double cost = 0.0;
+  /// All feasible elementary activations found (the system may switch
+  /// between them at run time).
+  std::vector<FeasibleEca> ecas;
+  /// Problem-graph clusters activated by at least one feasible ECA.
+  DynBitset implemented_clusters;
+  /// Def. 4 over `implemented_clusters`.
+  double flexibility = 0.0;
+  /// Alternative implementations with identical (cost, flexibility) but a
+  /// different allocation; populated only by
+  /// `ExploreOptions::collect_equivalents`.
+  std::vector<Implementation> equivalents;
+
+  /// Leaf-level implemented clusters (no nested interfaces), ascending —
+  /// the granularity the paper's §5 results table lists.
+  [[nodiscard]] std::vector<ClusterId> leaf_clusters(
+      const HierarchicalGraph& problem) const;
+
+  /// Minimal switching set: a greedy coverage of the implemented clusters
+  /// by feasible elementary activations.
+  [[nodiscard]] std::vector<Eca> minimal_cover(
+      const HierarchicalGraph& problem) const;
+};
+
+struct ImplementationOptions {
+  SolverOptions solver;
+  /// Cap on enumerated elementary activations (0 = unlimited).
+  std::size_t eca_limit = 4096;
+};
+
+struct ImplementationStats {
+  std::uint64_t ecas_enumerated = 0;
+  std::uint64_t solver_calls = 0;
+  std::uint64_t solver_nodes = 0;
+};
+
+/// Tries to construct a feasible implementation of `spec` on `alloc`:
+/// enumerates the elementary cluster activations of the activatable
+/// clusters, solves the binding problem for each, and aggregates the
+/// feasible ones.  Returns nullopt when no elementary activation is
+/// feasible (the allocation implements nothing).
+[[nodiscard]] std::optional<Implementation> build_implementation(
+    const SpecificationGraph& spec, const AllocSet& alloc,
+    const ImplementationOptions& options = {},
+    ImplementationStats* stats = nullptr);
+
+}  // namespace sdf

@@ -1,0 +1,72 @@
+// Backtracking solver for the NP-complete binding problem.
+//
+// Given an allocation and one elementary cluster activation, the solver
+// searches for a feasible binding: one activated mapping edge per activated
+// process such that
+//   * the target unit is allocated,
+//   * every activated dependence edge is communication-feasible (rule 3),
+//   * at most one configuration per reconfigurable device is in use — "there
+//     is exactly one activated cluster for every activated interface in the
+//     architecture graph" (§4, non-ambiguous architecture), and
+//   * (optionally) the per-resource utilization stays below the
+//     schedulability bound (§2 / §5: the 69% limit of Liu & Layland), and
+//   * per-resource capacities are respected: the summed `footprint` of the
+//     processes bound to a unit may not exceed the unit's `capacity`
+//     annotation (units without one are unlimited).
+//
+// Search is MRV-ordered backtracking with forward checking: the process with
+// the fewest remaining candidates is assigned first, and any assignment that
+// empties another process's candidate set is undone immediately.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bind/binding.hpp"
+#include "bind/eca.hpp"
+
+namespace sdf {
+
+struct SolverOptions {
+  CommModel comm_model = CommModel::kOneHopBus;
+  /// Maximum utilization per resource unit (Liu/Layland); <= 0 disables the
+  /// timing check inside the solver.
+  double utilization_bound = 0.69;
+  /// Enforce at most one configuration per reconfigurable device.
+  bool exclusive_configurations = true;
+  /// Enforce kCapacity/kFootprint annotations.
+  bool enforce_capacities = true;
+  /// Abort after this many search nodes (0 = unlimited).
+  std::uint64_t node_limit = 0;
+};
+
+struct SolverStats {
+  std::uint64_t nodes = 0;       ///< decision nodes visited
+  std::uint64_t backtracks = 0;  ///< failed branches undone
+  bool aborted = false;          ///< node limit hit
+};
+
+/// Searches for a feasible binding of the processes activated by `eca` onto
+/// `alloc`.  Returns the first feasible binding found, or nullopt if none
+/// exists (or the node limit was hit — see `stats.aborted`).
+[[nodiscard]] std::optional<Binding> solve_binding(
+    const SpecificationGraph& spec, const AllocSet& alloc, const Eca& eca,
+    const SolverOptions& options = {}, SolverStats* stats = nullptr);
+
+/// Utilization of each unit under `binding`: sum over bound processes of
+/// timing_weight * latency / period (processes without a period contribute
+/// nothing).  Indexed by unit.
+[[nodiscard]] std::vector<double> unit_utilizations(
+    const SpecificationGraph& spec, const Binding& binding);
+
+/// Occupied capacity of each unit under `binding`: summed kFootprint of
+/// the processes bound to it.  Indexed by unit.
+[[nodiscard]] std::vector<double> unit_footprints(
+    const SpecificationGraph& spec, const Binding& binding);
+
+/// Capacity of a unit (kCapacity of its vertex or configuration cluster);
+/// 0 = unlimited.
+[[nodiscard]] double unit_capacity(const SpecificationGraph& spec,
+                                   AllocUnitId unit);
+
+}  // namespace sdf

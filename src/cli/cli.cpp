@@ -1,0 +1,461 @@
+#include "cli/cli.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "explore/evolutionary.hpp"
+#include "explore/explorer.hpp"
+#include "explore/incremental.hpp"
+#include "explore/queries.hpp"
+#include "explore/report.hpp"
+#include "explore/sensitivity.hpp"
+#include "flex/reduce.hpp"
+#include "flex/activatability.hpp"
+#include "flex/flexibility.hpp"
+#include "gen/spec_generator.hpp"
+#include "graph/dot.hpp"
+#include "spec/paper_models.hpp"
+#include "spec/spec_dot.hpp"
+#include "spec/spec_io.hpp"
+#include "util/flags.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace sdf {
+namespace {
+
+Result<SpecificationGraph> load_spec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error{"cannot open '" + path + "'"};
+  std::stringstream buf;
+  buf << in.rdbuf();
+  Result<SpecificationGraph> spec = spec_from_string(buf.str());
+  if (!spec.ok()) return spec.error().wrap(path);
+  return spec;
+}
+
+int usage(std::ostream& err) {
+  err << "usage: sdf <command> [flags]\n"
+         "commands:\n"
+         "  validate <spec.json>          check a specification\n"
+         "  flexibility <spec.json>       Def. 4 flexibility analysis\n"
+         "  explore <spec.json> [flags]   flexibility/cost Pareto front\n"
+         "  upgrade <spec.json> --existing=<units>   incremental upgrades\n"
+         "  sensitivity <spec.json> --alloc=<units>  per-unit flexibility loss\n"
+         "  reduce <spec.json> --alloc=<units>       reduced spec to stdout\n"
+         "  dot <spec.json> [flags]       Graphviz rendering to stdout\n"
+         "  generate [flags]              synthetic specification to stdout\n"
+         "  demo <settop|decoder>         built-in paper model to stdout\n";
+  return 2;
+}
+
+int cmd_validate(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  if (args.empty()) {
+    err << "validate: missing <spec.json>\n";
+    return 2;
+  }
+  Result<SpecificationGraph> spec = load_spec(args[0]);
+  if (!spec.ok()) {
+    err << "invalid: " << spec.error().message << '\n';
+    return 1;
+  }
+  const SpecificationGraph& s = spec.value();
+  out << "valid: " << s.name() << " — " << s.problem().leaves().size()
+      << " processes, " << s.problem().all_refinement_clusters().size()
+      << " clusters, " << s.alloc_units().size() << " allocatable units, "
+      << s.mappings().size() << " mapping edges\n";
+  return 0;
+}
+
+int cmd_flexibility(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err) {
+  if (args.empty()) {
+    err << "flexibility: missing <spec.json>\n";
+    return 2;
+  }
+  Result<SpecificationGraph> spec = load_spec(args[0]);
+  if (!spec.ok()) {
+    err << spec.error().message << '\n';
+    return 1;
+  }
+  const HierarchicalGraph& p = spec.value().problem();
+  out << "maximal flexibility: " << format_double(max_flexibility(p)) << '\n';
+  Table table({"cluster", "depth", "f(subtree)", "f(G_P) without it"});
+  for (ClusterId cid : p.all_refinement_clusters()) {
+    const double without = flexibility(p, [&](ClusterId c) { return c != cid; });
+    table.add_row({p.cluster(cid).name,
+                   std::to_string(p.ancestry(cid).size() - 1),
+                   format_double(flexibility(
+                       p, cid, [](ClusterId) { return true; })),
+                   format_double(without)});
+  }
+  out << table.to_ascii();
+  return 0;
+}
+
+int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
+                std::ostream& err) {
+  Flags flags;
+  flags.define("comm", "onehop", "communication model: direct|onehop|anypath");
+  flags.define("util-bound", "0.69", "utilization bound (0 disables)");
+  flags.define_bool("dominance-filter", true, "§5 allocation filter");
+  flags.define_bool("flex-bound", true, "flexibility-estimate pruning");
+  flags.define_bool("branch-bound", true, "optimistic subtree pruning");
+  flags.define_bool("csv", false, "emit the front as CSV");
+  flags.define_bool("json", false, "emit the full result as JSON");
+  flags.define_bool("equivalents", false,
+                    "also collect equal-(cost,f) alternative allocations");
+  flags.define("budget", "", "also answer: best flexibility within budget");
+  flags.define("target-f", "",
+               "also answer: cheapest platform reaching this flexibility");
+  flags.define_bool("stats", true, "print exploration statistics");
+  flags.define_bool("evolutionary", false, "use the heuristic EA explorer");
+  flags.define("seed", "1", "EA seed");
+  if (Status s = flags.parse(raw); !s.ok()) {
+    err << s.error().message << "\nflags:\n" << flags.usage();
+    return 2;
+  }
+  if (flags.positional().empty()) {
+    err << "explore: missing <spec.json>\n";
+    return 2;
+  }
+  Result<SpecificationGraph> spec = load_spec(flags.positional()[0]);
+  if (!spec.ok()) {
+    err << spec.error().message << '\n';
+    return 1;
+  }
+
+  ExploreOptions options;
+  const std::string comm = flags.get("comm");
+  if (comm == "direct")
+    options.implementation.solver.comm_model = CommModel::kDirectOnly;
+  else if (comm == "anypath")
+    options.implementation.solver.comm_model = CommModel::kAnyPath;
+  else if (comm != "onehop") {
+    err << "unknown --comm value '" << comm << "'\n";
+    return 2;
+  }
+  options.implementation.solver.utilization_bound =
+      flags.get_double("util-bound");
+  options.prune_dominated_allocations = flags.get_bool("dominance-filter");
+  options.use_flexibility_bound = flags.get_bool("flex-bound");
+  options.use_branch_bound = flags.get_bool("branch-bound");
+  options.collect_equivalents = flags.get_bool("equivalents");
+
+  if (flags.get_bool("json") && !flags.get_bool("evolutionary")) {
+    const ExploreResult result = explore(spec.value(), options);
+    out << explore_result_to_json(spec.value(), result).dump(2) << '\n';
+    return 0;
+  }
+
+  if (!flags.get("budget").empty() || !flags.get("target-f").empty()) {
+    const ExploreResult result = explore(spec.value(), options);
+    if (!flags.get("budget").empty()) {
+      const double budget = flags.get_double("budget");
+      if (const Implementation* best =
+              max_flexibility_within_budget(result, budget)) {
+        out << "within budget " << format_double(budget) << ": f="
+            << format_double(best->flexibility) << " at $"
+            << format_double(best->cost) << " ("
+            << spec.value().allocation_names(best->units) << ")\n";
+      } else {
+        out << "within budget " << format_double(budget)
+            << ": nothing feasible\n";
+      }
+    }
+    if (!flags.get("target-f").empty()) {
+      const double target = flags.get_double("target-f");
+      if (const Implementation* best =
+              min_cost_for_flexibility(result, target)) {
+        out << "flexibility >= " << format_double(target) << ": $"
+            << format_double(best->cost) << " ("
+            << spec.value().allocation_names(best->units) << ")\n";
+      } else {
+        out << "flexibility >= " << format_double(target)
+            << ": unreachable (max " << format_double(result.max_flexibility)
+            << ")\n";
+      }
+    }
+    return 0;
+  }
+
+  std::vector<Implementation> front;
+  ExploreStats stats;
+  double f_max = 0.0;
+  if (flags.get_bool("evolutionary")) {
+    EaOptions ea;
+    ea.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    ea.implementation = options.implementation;
+    const EaResult result = explore_evolutionary(spec.value(), ea);
+    front = result.front;
+    f_max = max_flexibility(spec.value().problem());
+  } else {
+    ExploreResult result = explore(spec.value(), options);
+    front = std::move(result.front);
+    stats = result.stats;
+    f_max = result.max_flexibility;
+  }
+
+  Table table({"cost", "flexibility", "resources", "clusters"});
+  for (const Implementation& impl : front) {
+    std::string clusters;
+    for (ClusterId c : impl.leaf_clusters(spec.value().problem())) {
+      if (!clusters.empty()) clusters += ", ";
+      clusters += spec.value().problem().cluster(c).name;
+    }
+    table.add_row({format_double(impl.cost), format_double(impl.flexibility),
+                   spec.value().allocation_names(impl.units), clusters});
+  }
+  out << (flags.get_bool("csv") ? table.to_csv() : table.to_ascii());
+  if (!flags.get_bool("evolutionary") && flags.get_bool("stats")) {
+    out << "f_max=" << format_double(f_max)
+        << " universe=" << stats.universe
+        << " candidates=" << stats.candidates_generated
+        << " possible_allocations=" << stats.possible_allocations
+        << " attempts=" << stats.implementation_attempts
+        << " solver_calls=" << stats.solver_calls << '\n';
+  }
+  return 0;
+}
+
+int cmd_upgrade(const std::vector<std::string>& raw, std::ostream& out,
+                std::ostream& err) {
+  Flags flags;
+  flags.define("existing", "", "comma-separated unit names already deployed");
+  if (Status s = flags.parse(raw); !s.ok()) {
+    err << s.error().message << "\nflags:\n" << flags.usage();
+    return 2;
+  }
+  if (flags.positional().empty()) {
+    err << "upgrade: missing <spec.json>\n";
+    return 2;
+  }
+  Result<SpecificationGraph> spec = load_spec(flags.positional()[0]);
+  if (!spec.ok()) {
+    err << spec.error().message << '\n';
+    return 1;
+  }
+  AllocSet existing = spec.value().make_alloc_set();
+  for (const std::string& raw_name : split(flags.get("existing"), ',')) {
+    const std::string name(trim(raw_name));
+    if (name.empty()) continue;
+    const AllocUnitId u = spec.value().find_unit(name);
+    if (!u.valid()) {
+      err << "unknown unit '" << name << "'\n";
+      return 2;
+    }
+    existing.set(u.index());
+  }
+
+  const UpgradeResult r = explore_upgrades(spec.value(), existing);
+  out << "deployed: "
+      << (existing.none() ? "(nothing)"
+                          : spec.value().allocation_names(existing))
+      << "  f=" << format_double(r.baseline_flexibility) << " of "
+      << format_double(r.max_flexibility) << '\n';
+  Table table({"upgrade cost", "total cost", "flexibility", "added units"});
+  for (const Upgrade& u : r.front) {
+    AllocSet added = u.implementation.units;
+    added -= existing;
+    table.add_row({format_double(u.upgrade_cost),
+                   format_double(u.implementation.cost),
+                   format_double(u.implementation.flexibility),
+                   spec.value().allocation_names(added)});
+  }
+  out << table.to_ascii();
+  return 0;
+}
+
+/// Parses a comma-separated unit-name list into an allocation.
+Result<AllocSet> parse_alloc(const SpecificationGraph& spec,
+                             const std::string& list) {
+  AllocSet a = spec.make_alloc_set();
+  for (const std::string& raw_name : split(list, ',')) {
+    const std::string name(trim(raw_name));
+    if (name.empty()) continue;
+    const AllocUnitId u = spec.find_unit(name);
+    if (!u.valid()) return Error{"unknown unit '" + name + "'"};
+    a.set(u.index());
+  }
+  return a;
+}
+
+int cmd_sensitivity(const std::vector<std::string>& raw, std::ostream& out,
+                    std::ostream& err) {
+  Flags flags;
+  flags.define("alloc", "", "comma-separated unit names (empty = all)");
+  if (Status s = flags.parse(raw); !s.ok()) {
+    err << s.error().message << '\n';
+    return 2;
+  }
+  if (flags.positional().empty()) {
+    err << "sensitivity: missing <spec.json>\n";
+    return 2;
+  }
+  Result<SpecificationGraph> spec = load_spec(flags.positional()[0]);
+  if (!spec.ok()) {
+    err << spec.error().message << '\n';
+    return 1;
+  }
+  Result<AllocSet> alloc = parse_alloc(spec.value(), flags.get("alloc"));
+  if (!alloc.ok()) {
+    err << alloc.error().message << '\n';
+    return 2;
+  }
+  if (alloc.value().none()) {
+    for (std::size_t i = 0; i < spec.value().alloc_units().size(); ++i)
+      alloc.value().set(i);
+  }
+
+  const SensitivityReport report =
+      flexibility_sensitivity(spec.value(), alloc.value());
+  out << "implemented flexibility: " << format_double(report.flexibility)
+      << '\n';
+  Table table({"unit", "cost", "f loss", "loss per $", "verdict"});
+  for (const UnitSensitivity& u : report.units) {
+    table.add_row({spec.value().alloc_units()[u.unit.index()].name,
+                   format_double(u.cost), format_double(u.flexibility_loss),
+                   format_double(u.loss_per_cost, 4),
+                   u.critical ? "critical"
+                              : (u.flexibility_loss > 0 ? "carrier"
+                                                        : "redundant")});
+  }
+  out << table.to_ascii();
+  return 0;
+}
+
+int cmd_reduce(const std::vector<std::string>& raw, std::ostream& out,
+               std::ostream& err) {
+  Flags flags;
+  flags.define("alloc", "", "comma-separated unit names to allocate");
+  if (Status s = flags.parse(raw); !s.ok()) {
+    err << s.error().message << '\n';
+    return 2;
+  }
+  if (flags.positional().empty()) {
+    err << "reduce: missing <spec.json>\n";
+    return 2;
+  }
+  Result<SpecificationGraph> spec = load_spec(flags.positional()[0]);
+  if (!spec.ok()) {
+    err << spec.error().message << '\n';
+    return 1;
+  }
+  Result<AllocSet> alloc = parse_alloc(spec.value(), flags.get("alloc"));
+  if (!alloc.ok()) {
+    err << alloc.error().message << '\n';
+    return 2;
+  }
+  const SpecificationGraph reduced =
+      reduce_specification(spec.value(), alloc.value());
+  const Result<std::string> text = spec_to_string(reduced);
+  if (!text.ok()) {
+    err << text.error().message << '\n';
+    return 1;
+  }
+  out << text.value() << '\n';
+  return 0;
+}
+
+int cmd_dot(const std::vector<std::string>& raw, std::ostream& out,
+            std::ostream& err) {
+  Flags flags;
+  flags.define("graph", "problem",
+               "which graph: problem|architecture|spec");
+  if (Status s = flags.parse(raw); !s.ok()) {
+    err << s.error().message << '\n';
+    return 2;
+  }
+  if (flags.positional().empty()) {
+    err << "dot: missing <spec.json>\n";
+    return 2;
+  }
+  Result<SpecificationGraph> spec = load_spec(flags.positional()[0]);
+  if (!spec.ok()) {
+    err << spec.error().message << '\n';
+    return 1;
+  }
+  const std::string which = flags.get("graph");
+  if (which == "problem") {
+    out << to_dot(spec.value().problem());
+  } else if (which == "architecture") {
+    out << to_dot(spec.value().architecture());
+  } else if (which == "spec") {
+    out << to_dot(spec.value(), SpecDotOptions{.title = spec.value().name()});
+  } else {
+    err << "unknown --graph value '" << which << "'\n";
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_generate(const std::vector<std::string>& raw, std::ostream& out,
+                 std::ostream& err) {
+  Flags flags;
+  flags.define("seed", "1", "generator seed");
+  flags.define("applications", "3", "top-level alternatives");
+  flags.define("processors", "2", "general-purpose processors");
+  flags.define("accelerators", "2", "specialized accelerators");
+  flags.define("fpga-configs", "2", "reconfigurable-device configurations");
+  if (Status s = flags.parse(raw); !s.ok()) {
+    err << s.error().message << "\nflags:\n" << flags.usage();
+    return 2;
+  }
+  GeneratorParams params;
+  params.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  params.applications = static_cast<std::size_t>(flags.get_int("applications"));
+  params.processors = static_cast<std::size_t>(flags.get_int("processors"));
+  params.accelerators =
+      static_cast<std::size_t>(flags.get_int("accelerators"));
+  params.fpga_configs =
+      static_cast<std::size_t>(flags.get_int("fpga-configs"));
+  const Result<std::string> text = spec_to_string(generate_spec(params));
+  if (!text.ok()) {
+    err << text.error().message << '\n';
+    return 1;
+  }
+  out << text.value() << '\n';
+  return 0;
+}
+
+int cmd_demo(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  if (args.empty()) {
+    err << "demo: expected 'settop' or 'decoder'\n";
+    return 2;
+  }
+  SpecificationGraph spec =
+      args[0] == "settop"
+          ? models::make_settop_spec()
+          : (args[0] == "decoder" ? models::make_tv_decoder_spec()
+                                  : SpecificationGraph("?"));
+  if (spec.name() == "?") {
+    err << "unknown demo '" << args[0] << "'\n";
+    return 2;
+  }
+  out << spec_to_string(spec).value() << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty()) return usage(err);
+  const std::string& command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (command == "validate") return cmd_validate(rest, out, err);
+  if (command == "flexibility") return cmd_flexibility(rest, out, err);
+  if (command == "explore") return cmd_explore(rest, out, err);
+  if (command == "upgrade") return cmd_upgrade(rest, out, err);
+  if (command == "sensitivity") return cmd_sensitivity(rest, out, err);
+  if (command == "reduce") return cmd_reduce(rest, out, err);
+  if (command == "dot") return cmd_dot(rest, out, err);
+  if (command == "generate") return cmd_generate(rest, out, err);
+  if (command == "demo") return cmd_demo(rest, out, err);
+  err << "unknown command '" << command << "'\n";
+  return usage(err);
+}
+
+}  // namespace sdf

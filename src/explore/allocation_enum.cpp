@@ -1,0 +1,133 @@
+#include "explore/allocation_enum.hpp"
+
+#include <algorithm>
+
+#include "flex/activatability.hpp"
+
+namespace sdf {
+
+CostOrderedAllocations::CostOrderedAllocations(const SpecificationGraph& spec)
+    : CostOrderedAllocations(spec, spec.make_alloc_set()) {}
+
+CostOrderedAllocations::CostOrderedAllocations(const SpecificationGraph& spec,
+                                               AllocSet base)
+    : spec_(spec), base_(std::move(base)) {
+  const auto& units = spec.alloc_units();
+  unit_cost_.reserve(units.size());
+  // Units already in the base are never re-added: give them an effectively
+  // infinite price and skip them during expansion (see next()).
+  for (const AllocUnit& u : units)
+    unit_cost_.push_back(base_.test(u.id.index()) ? -1.0 : u.cost);
+  queue_.push(State{0.0, {}, static_cast<std::uint32_t>(-1)});
+}
+
+AllocSet CostOrderedAllocations::to_set(
+    const std::vector<std::uint32_t>& members) const {
+  AllocSet s = base_;
+  for (std::uint32_t i : members) s.set(i);
+  return s;
+}
+
+std::optional<AllocSet> CostOrderedAllocations::next() {
+  if (queue_.empty()) return std::nullopt;
+  const State state = queue_.top();
+  queue_.pop();
+
+  // Expand: children add one unit with an index above the last added one.
+  // Each subset is generated exactly once (by ascending-index insertion) and
+  // children never cost less than their parent, so the priority queue yields
+  // global (cost, lex) order.
+  const std::uint32_t begin =
+      state.max_index == static_cast<std::uint32_t>(-1) ? 0
+                                                        : state.max_index + 1;
+  bool expand = true;
+  if (keep_ && begin < unit_cost_.size()) {
+    AllocSet potential = to_set(state.members);
+    for (std::uint32_t j = begin; j < unit_cost_.size(); ++j) potential.set(j);
+    if (!keep_(potential)) {
+      expand = false;
+      ++pruned_;
+    }
+  }
+  if (expand) {
+    for (std::uint32_t j = begin; j < unit_cost_.size(); ++j) {
+      if (unit_cost_[j] < 0.0) continue;  // already in the frozen base
+      State child;
+      child.cost = state.cost + unit_cost_[j];
+      child.members = state.members;
+      child.members.push_back(j);
+      child.max_index = j;
+      queue_.push(std::move(child));
+    }
+  }
+
+  ++emitted_;
+  return to_set(state.members);
+}
+
+bool obviously_dominated(const SpecificationGraph& spec,
+                         const AllocSet& alloc, const AllocSet* scope) {
+  const auto& units = spec.alloc_units();
+  const HierarchicalGraph& arch = spec.architecture();
+
+  // Which top-level architecture nodes host an allocated functional unit?
+  DynBitset functional_tops(arch.node_count());
+  alloc.for_each([&](std::size_t i) {
+    if (!units[i].is_comm) functional_tops.set(units[i].top.index());
+  });
+
+  // Which problem leaves can map to each unit at all?
+  // (Precomputing per call is fine: the filter runs once per candidate.)
+  DynBitset mappable_unit(units.size());
+  for (const MappingEdge& m : spec.mappings()) {
+    const AllocUnitId u = spec.unit_of_resource(m.resource);
+    if (u.valid()) mappable_unit.set(u.index());
+  }
+
+  bool dominated = false;
+  alloc.for_each([&](std::size_t i) {
+    if (dominated) return;
+    if (scope != nullptr && !scope->test(i)) return;
+    const AllocUnit& u = units[i];
+    if (u.is_comm) {
+      // Dangling bus: fewer than two distinct allocated functional
+      // endpoints adjacent by architecture edges.
+      std::size_t endpoints = 0;
+      DynBitset seen(arch.node_count());
+      auto visit = [&](NodeId other) {
+        if (seen.test(other.index())) return;
+        seen.set(other.index());
+        if (functional_tops.test(other.index())) ++endpoints;
+      };
+      for (EdgeId eid : arch.node(u.top).out_edges)
+        visit(arch.edge(eid).to);
+      for (EdgeId eid : arch.node(u.top).in_edges)
+        visit(arch.edge(eid).from);
+      if (endpoints < 2) dominated = true;
+    } else if (!mappable_unit.test(i)) {
+      // Functional unit no process can ever execute on.
+      dominated = true;
+    }
+  });
+  return dominated;
+}
+
+std::vector<AllocSet> enumerate_possible_allocations(
+    const SpecificationGraph& spec, bool apply_dominance_filter,
+    std::size_t max_universe) {
+  const std::size_t n = spec.alloc_units().size();
+  SDF_CHECK(n <= max_universe,
+            "unit universe too large for eager enumeration");
+
+  std::vector<AllocSet> out;
+  CostOrderedAllocations stream(spec);
+  while (std::optional<AllocSet> a = stream.next()) {
+    if (a->none()) continue;
+    if (apply_dominance_filter && obviously_dominated(spec, *a)) continue;
+    if (!is_possible_allocation(spec, *a)) continue;
+    out.push_back(std::move(*a));
+  }
+  return out;
+}
+
+}  // namespace sdf

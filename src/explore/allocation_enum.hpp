@@ -1,0 +1,93 @@
+// Enumeration of resource allocations in increasing cost order (§4).
+//
+// The EXPLORE algorithm inspects "the elements of the set of possible
+// resource allocations [...] in order of increasing allocation costs".
+// `CostOrderedAllocations` is a lazy stream over all subsets of the
+// allocatable-unit universe, ascending by cost (ties broken by
+// lexicographic unit order, which makes runs deterministic).  A branch
+// bound supplied by the caller prunes whole subtrees whose optimistic
+// flexibility can no longer beat the incumbent.
+//
+// `obviously_dominated` implements the §5 filter ("elements that are
+// obviously not Pareto-optimal [...] are left out"): allocations with a
+// dangling bus (fewer than two allocated endpoints) or a functional unit no
+// process can ever map to are dominated by the same allocation without that
+// unit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "spec/specification.hpp"
+
+namespace sdf {
+
+class CostOrderedAllocations {
+ public:
+  explicit CostOrderedAllocations(const SpecificationGraph& spec);
+
+  /// Variant with a frozen base: every emitted allocation contains `base`,
+  /// only units outside `base` are added, and the enumeration order is by
+  /// *incremental* cost (the added units only).  Used by the incremental
+  /// explorer to search platform upgrades.
+  CostOrderedAllocations(const SpecificationGraph& spec, AllocSet base);
+
+  /// Optional subtree bound.  Called with the optimistic completion of a
+  /// stream state — the emitted subset plus every unit that could still be
+  /// added; returning false prunes all descendants of that state.
+  using BranchBound = std::function<bool(const AllocSet& potential)>;
+  void set_branch_bound(BranchBound keep) { keep_ = std::move(keep); }
+
+  /// Next subset in (cost, lex) order; nullopt when exhausted.  The first
+  /// emitted subset is the empty allocation.
+  [[nodiscard]] std::optional<AllocSet> next();
+
+  /// Subsets emitted so far.
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+  /// Subtrees pruned by the branch bound so far.
+  [[nodiscard]] std::uint64_t pruned() const { return pruned_; }
+
+ private:
+  struct State {
+    double cost;
+    std::vector<std::uint32_t> members;  // ascending unit indices
+    std::uint32_t max_index;             // last added unit (or sentinel)
+  };
+  struct StateGreater {
+    bool operator()(const State& a, const State& b) const {
+      if (a.cost != b.cost) return a.cost > b.cost;
+      return a.members > b.members;  // lexicographically larger = later
+    }
+  };
+
+  [[nodiscard]] AllocSet to_set(const std::vector<std::uint32_t>& members) const;
+
+  const SpecificationGraph& spec_;
+  AllocSet base_;
+  std::vector<double> unit_cost_;
+  std::priority_queue<State, std::vector<State>, StateGreater> queue_;
+  BranchBound keep_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t pruned_ = 0;
+};
+
+/// §5 dominance filter; see file comment.  When `scope` is non-null only
+/// the units in `scope` are examined (adjacency is always judged in the
+/// full allocation) — the incremental explorer uses this to exempt the
+/// already-deployed platform, which is a sunk cost.
+[[nodiscard]] bool obviously_dominated(const SpecificationGraph& spec,
+                                       const AllocSet& alloc,
+                                       const AllocSet* scope = nullptr);
+
+/// Eagerly enumerates every *possible resource allocation* (allocations
+/// admitting at least one complete problem activation by reachability,
+/// §4), ascending by cost.  Exponential in the universe — intended for the
+/// paper-sized examples; aborts via SDF_CHECK above `max_universe` units.
+[[nodiscard]] std::vector<AllocSet> enumerate_possible_allocations(
+    const SpecificationGraph& spec, bool apply_dominance_filter = false,
+    std::size_t max_universe = 24);
+
+}  // namespace sdf

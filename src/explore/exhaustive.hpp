@@ -1,0 +1,37 @@
+// Exhaustive baseline: evaluate every allocation, keep the Pareto front.
+//
+// "An exhaustive search approach (there are 2^|V_S| possible solutions)
+// seems not to be a viable solution." (§4)  This module implements exactly
+// that non-viable baseline — it tries to construct an implementation for
+// *every* subset of the unit universe — so tests can verify EXPLORE finds
+// the identical front and benches can quantify the speedup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bind/implementation.hpp"
+#include "spec/specification.hpp"
+
+namespace sdf {
+
+struct ExhaustiveStats {
+  std::uint64_t subsets = 0;
+  std::uint64_t implementation_attempts = 0;
+  std::uint64_t solver_calls = 0;
+  double wall_seconds = 0.0;
+};
+
+struct ExhaustiveResult {
+  /// Pareto-optimal implementations, ascending cost.
+  std::vector<Implementation> front;
+  ExhaustiveStats stats;
+};
+
+/// Brute force over all 2^n allocations; refuses universes beyond
+/// `max_universe` units (runtime doubles per unit).
+[[nodiscard]] ExhaustiveResult explore_exhaustive(
+    const SpecificationGraph& spec, const ImplementationOptions& options = {},
+    std::size_t max_universe = 20);
+
+}  // namespace sdf

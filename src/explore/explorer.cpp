@@ -1,0 +1,130 @@
+#include "explore/explorer.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "explore/allocation_enum.hpp"
+#include "flex/activatability.hpp"
+#include "flex/flexibility.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace sdf {
+
+std::vector<ParetoPoint> ExploreResult::tradeoff_curve() const {
+  std::vector<ParetoPoint> out;
+  out.reserve(front.size());
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    out.push_back(ParetoPoint{front[i].cost, 1.0 / front[i].flexibility, i});
+  }
+  return out;
+}
+
+ExploreResult explore(const SpecificationGraph& spec,
+                      const ExploreOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  ExploreResult result;
+  result.max_flexibility = max_flexibility(spec.problem());
+  result.stats.universe = spec.alloc_units().size();
+  result.stats.raw_design_points =
+      std::pow(2.0, static_cast<double>(result.stats.universe));
+
+  double f_cur = 0.0;
+  // When collecting equivalents, the search ends after walking through the
+  // cost tie of the maximal-flexibility point; -1 = not yet reached.
+  double max_tie_cost = -1.0;
+  CostOrderedAllocations stream(spec);
+  if (options.use_branch_bound) {
+    stream.set_branch_bound([&, collect = options.collect_equivalents](
+                                const AllocSet& potential) {
+      if (f_cur <= 0.0) return true;  // nothing to beat yet
+      const std::optional<double> est = estimate_flexibility(spec, potential);
+      if (!est.has_value()) return false;
+      // Equivalent collection must keep subtrees that can still *tie* the
+      // incumbent, not only beat it.
+      return collect ? *est >= f_cur : *est > f_cur;
+    });
+  }
+
+  while (std::optional<AllocSet> a = stream.next()) {
+    ++result.stats.candidates_generated;
+    if (options.max_candidates != 0 &&
+        result.stats.candidates_generated > options.max_candidates)
+      break;
+    if (a->none()) continue;
+    if (max_tie_cost >= 0.0 && spec.allocation_cost(*a) > max_tie_cost)
+      break;
+
+    if (options.prune_dominated_allocations &&
+        obviously_dominated(spec, *a)) {
+      ++result.stats.dominated_skipped;
+      continue;
+    }
+
+    const Activatability act(spec, *a);
+    if (!act.root_activatable()) continue;
+    ++result.stats.possible_allocations;
+
+    const std::optional<double> est = act.estimated_flexibility();
+    ++result.stats.flexibility_estimations;
+    SDF_CHECK(est.has_value(), "possible allocation without estimate");
+    const bool beats_bound =
+        options.collect_equivalents ? *est >= f_cur : *est > f_cur;
+    if (options.use_flexibility_bound && !beats_bound) {
+      ++result.stats.bound_skipped;
+      continue;
+    }
+
+    ++result.stats.implementation_attempts;
+    ImplementationStats istats;
+    std::optional<Implementation> impl =
+        build_implementation(spec, *a, options.implementation, &istats);
+    result.stats.solver_calls += istats.solver_calls;
+    result.stats.solver_nodes += istats.solver_nodes;
+
+    if (!impl.has_value()) continue;
+    if (impl->flexibility <= f_cur) {
+      // Equivalent Pareto point: same cost and flexibility as the current
+      // front point, different allocation.
+      if (options.collect_equivalents && !result.front.empty() &&
+          impl->flexibility == f_cur &&
+          impl->cost == result.front.back().cost &&
+          !(impl->units == result.front.back().units)) {
+        result.front.back().equivalents.push_back(std::move(*impl));
+      }
+      continue;
+    }
+
+    // Same-cost predecessors with lower flexibility are dominated now.
+    while (!result.front.empty() &&
+           result.front.back().cost >= impl->cost) {
+      result.front.pop_back();
+    }
+    log_debug(strprintf("EXPLORE: new Pareto point cost=%s f=%s (%s)",
+                        format_double(impl->cost).c_str(),
+                        format_double(impl->flexibility).c_str(),
+                        spec.allocation_names(*a).c_str()));
+    f_cur = impl->flexibility;
+    result.front.push_back(std::move(*impl));
+
+    if (options.stop_at_max_flexibility &&
+        f_cur >= result.max_flexibility - 1e-9) {
+      if (!options.collect_equivalents) break;
+      // Keep walking only through the cost tie of the maximal point; the
+      // stream is cost-ordered, so the first strictly costlier candidate
+      // ends the search (checked at the top of the loop).
+      max_tie_cost = result.front.back().cost;
+    }
+  }
+  result.stats.exhausted = !options.stop_at_max_flexibility ||
+                           f_cur < result.max_flexibility - 1e-9;
+  result.stats.branches_pruned = stream.pruned();
+
+  const auto t1 = std::chrono::steady_clock::now();
+  result.stats.wall_seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+}  // namespace sdf

@@ -1,0 +1,82 @@
+// The EXPLORE algorithm (§4): flexibility/cost design-space exploration.
+//
+// Candidates (resource allocations) are inspected in increasing cost order.
+// Two reductions make this tractable:
+//  1. *Possible resource allocations* — candidates that cannot cover any
+//     complete problem activation (by mapping-edge reachability alone) are
+//     discarded without touching the binding solver.
+//  2. *Flexibility estimation* — a candidate whose estimated (upper-bound)
+//     flexibility does not exceed the best implemented flexibility so far
+//     cannot contribute a new Pareto point and is skipped.
+// Only the survivors reach the NP-complete binding construction; because
+// cost increases monotonically, every accepted implementation with strictly
+// greater flexibility is Pareto-optimal, and the loop terminates early once
+// the specification's maximal flexibility has been implemented.
+//
+// On top of the paper's two reductions, `use_branch_bound` prunes whole
+// subtrees of the subset stream whose *optimistic completion* (candidate
+// plus all still-addable units) cannot beat the incumbent — a strict
+// branch-and-bound strengthening that never changes the result.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bind/implementation.hpp"
+#include "moo/pareto.hpp"
+#include "spec/specification.hpp"
+
+namespace sdf {
+
+struct ExploreOptions {
+  ImplementationOptions implementation;
+  /// Apply the §5 "obviously not Pareto-optimal" allocation filter.
+  bool prune_dominated_allocations = true;
+  /// Skip candidates whose flexibility estimate cannot beat the incumbent
+  /// (the paper's second reduction).  Disable only for ablation.
+  bool use_flexibility_bound = true;
+  /// Prune stream subtrees via the optimistic-completion bound.
+  bool use_branch_bound = true;
+  /// Stop as soon as the maximal flexibility has been implemented.
+  bool stop_at_max_flexibility = true;
+  /// Also collect *equivalent* Pareto points: alternative allocations with
+  /// the same (cost, flexibility) as a front point, stored in that point's
+  /// `equivalents`.  Costs extra implementation attempts (candidates whose
+  /// estimate merely ties the incumbent must be tried too).
+  bool collect_equivalents = false;
+  /// Safety cap on generated candidates (0 = unlimited).
+  std::uint64_t max_candidates = 0;
+};
+
+struct ExploreStats {
+  std::size_t universe = 0;            ///< number of allocatable units
+  double raw_design_points = 0.0;      ///< 2^universe
+  std::uint64_t candidates_generated = 0;
+  std::uint64_t dominated_skipped = 0;
+  std::uint64_t possible_allocations = 0;
+  std::uint64_t flexibility_estimations = 0;
+  std::uint64_t bound_skipped = 0;     ///< estimate <= incumbent
+  std::uint64_t implementation_attempts = 0;
+  std::uint64_t solver_calls = 0;      ///< binding-solver invocations (ECAs)
+  std::uint64_t solver_nodes = 0;
+  std::uint64_t branches_pruned = 0;
+  bool exhausted = false;              ///< stream ran dry (vs. early stop)
+  double wall_seconds = 0.0;
+};
+
+struct ExploreResult {
+  /// Pareto-optimal implementations, ascending cost / ascending flexibility.
+  std::vector<Implementation> front;
+  /// Maximal flexibility of the specification (Def. 4, all clusters).
+  double max_flexibility = 0.0;
+  ExploreStats stats;
+
+  /// The front as (cost, 1/flexibility) points — the paper's Fig. 4 axes.
+  [[nodiscard]] std::vector<ParetoPoint> tradeoff_curve() const;
+};
+
+/// Runs EXPLORE on `spec`.
+[[nodiscard]] ExploreResult explore(const SpecificationGraph& spec,
+                                    const ExploreOptions& options = {});
+
+}  // namespace sdf

@@ -1,0 +1,97 @@
+#include "explore/incremental.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "explore/allocation_enum.hpp"
+#include "flex/activatability.hpp"
+#include "flex/flexibility.hpp"
+
+namespace sdf {
+
+UpgradeResult explore_upgrades(const SpecificationGraph& spec,
+                               const AllocSet& existing,
+                               const ExploreOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  UpgradeResult result;
+  result.max_flexibility = max_flexibility(spec.problem());
+  result.stats.universe = spec.alloc_units().size() - existing.count();
+  result.stats.raw_design_points =
+      std::pow(2.0, static_cast<double>(result.stats.universe));
+
+  if (const auto base =
+          build_implementation(spec, existing, options.implementation)) {
+    result.baseline_flexibility = base->flexibility;
+  }
+
+  double f_cur = result.baseline_flexibility;
+  CostOrderedAllocations stream(spec, existing);
+  if (options.use_branch_bound) {
+    stream.set_branch_bound([&](const AllocSet& potential) {
+      if (f_cur <= 0.0) return true;
+      const std::optional<double> est = estimate_flexibility(spec, potential);
+      return est.has_value() && *est > f_cur;
+    });
+  }
+
+  while (std::optional<AllocSet> a = stream.next()) {
+    ++result.stats.candidates_generated;
+    if (options.max_candidates != 0 &&
+        result.stats.candidates_generated > options.max_candidates)
+      break;
+    if (*a == existing) continue;  // the baseline itself
+
+    if (options.prune_dominated_allocations) {
+      // Only judge the *added* units: the deployed platform is a sunk cost
+      // and may legitimately contain resources the upgrade does not use.
+      AllocSet added = *a;
+      added -= existing;
+      if (obviously_dominated(spec, *a, &added)) {
+        ++result.stats.dominated_skipped;
+        continue;
+      }
+    }
+
+    const Activatability act(spec, *a);
+    if (!act.root_activatable()) continue;
+    ++result.stats.possible_allocations;
+
+    const std::optional<double> est = act.estimated_flexibility();
+    ++result.stats.flexibility_estimations;
+    if (options.use_flexibility_bound && est.has_value() && *est <= f_cur) {
+      ++result.stats.bound_skipped;
+      continue;
+    }
+
+    ++result.stats.implementation_attempts;
+    ImplementationStats istats;
+    std::optional<Implementation> impl =
+        build_implementation(spec, *a, options.implementation, &istats);
+    result.stats.solver_calls += istats.solver_calls;
+    result.stats.solver_nodes += istats.solver_nodes;
+    if (!impl.has_value() || impl->flexibility <= f_cur) continue;
+
+    // Includes any device interface newly brought in by an added
+    // configuration (charged once, like allocation_cost itself).
+    const double upgrade_cost =
+        spec.allocation_cost(*a) - spec.allocation_cost(existing);
+
+    while (!result.front.empty() &&
+           result.front.back().upgrade_cost >= upgrade_cost)
+      result.front.pop_back();
+    f_cur = impl->flexibility;
+    result.front.push_back(Upgrade{std::move(*impl), upgrade_cost});
+
+    if (options.stop_at_max_flexibility &&
+        f_cur >= result.max_flexibility - 1e-9)
+      break;
+  }
+  result.stats.branches_pruned = stream.pruned();
+
+  const auto t1 = std::chrono::steady_clock::now();
+  result.stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+}  // namespace sdf

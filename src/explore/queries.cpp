@@ -1,0 +1,40 @@
+#include "explore/queries.hpp"
+
+namespace sdf {
+
+const Implementation* max_flexibility_within_budget(
+    const ExploreResult& result, double budget) {
+  const Implementation* best = nullptr;
+  for (const Implementation& impl : result.front) {
+    if (impl.cost > budget + 1e-9) break;  // front is cost-ascending
+    best = &impl;
+  }
+  return best;
+}
+
+const Implementation* min_cost_for_flexibility(const ExploreResult& result,
+                                               double target) {
+  for (const Implementation& impl : result.front)
+    if (impl.flexibility >= target - 1e-9) return &impl;
+  return nullptr;
+}
+
+std::optional<Implementation> max_flexibility_within_budget(
+    const SpecificationGraph& spec, double budget,
+    const ExploreOptions& options) {
+  const ExploreResult result = explore(spec, options);
+  const Implementation* best = max_flexibility_within_budget(result, budget);
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+std::optional<Implementation> min_cost_for_flexibility(
+    const SpecificationGraph& spec, double target,
+    const ExploreOptions& options) {
+  const ExploreResult result = explore(spec, options);
+  const Implementation* best = min_cost_for_flexibility(result, target);
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+}  // namespace sdf

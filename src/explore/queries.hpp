@@ -1,0 +1,32 @@
+// Point queries on the flexibility/cost tradeoff.
+//
+// Product planning rarely wants the whole curve; it asks "what is the most
+// flexible platform under this budget?" or "what does flexibility level f
+// cost?".  Both are answered exactly by the complete EXPLORE front.
+#pragma once
+
+#include <optional>
+
+#include "explore/explorer.hpp"
+
+namespace sdf {
+
+/// The most flexible implementation with cost <= `budget`; nullopt when no
+/// feasible implementation fits the budget.
+[[nodiscard]] std::optional<Implementation> max_flexibility_within_budget(
+    const SpecificationGraph& spec, double budget,
+    const ExploreOptions& options = {});
+
+/// The cheapest implementation with flexibility >= `target`; nullopt when
+/// the specification cannot reach the target at any cost.
+[[nodiscard]] std::optional<Implementation> min_cost_for_flexibility(
+    const SpecificationGraph& spec, double target,
+    const ExploreOptions& options = {});
+
+/// Convenience wrappers over an already-computed front (same semantics).
+[[nodiscard]] const Implementation* max_flexibility_within_budget(
+    const ExploreResult& result, double budget);
+[[nodiscard]] const Implementation* min_cost_for_flexibility(
+    const ExploreResult& result, double target);
+
+}  // namespace sdf

@@ -1,0 +1,65 @@
+#include "explore/report.hpp"
+
+namespace sdf {
+namespace {
+
+Json implementation_to_json(const SpecificationGraph& spec,
+                            const Implementation& impl) {
+  JsonObject obj;
+  obj.emplace_back("cost", Json(impl.cost));
+  obj.emplace_back("flexibility", Json(impl.flexibility));
+  JsonArray resources;
+  impl.units.for_each([&](std::size_t i) {
+    resources.push_back(Json(spec.alloc_units()[i].name));
+  });
+  obj.emplace_back("resources", Json(std::move(resources)));
+  JsonArray clusters;
+  for (ClusterId c : impl.leaf_clusters(spec.problem()))
+    clusters.push_back(Json(spec.problem().cluster(c).name));
+  obj.emplace_back("clusters", Json(std::move(clusters)));
+  obj.emplace_back("feasible_activations", Json(impl.ecas.size()));
+  if (!impl.equivalents.empty()) {
+    JsonArray equivalents;
+    for (const Implementation& eq : impl.equivalents)
+      equivalents.push_back(implementation_to_json(spec, eq));
+    obj.emplace_back("equivalents", Json(std::move(equivalents)));
+  }
+  return Json(std::move(obj));
+}
+
+}  // namespace
+
+Json explore_result_to_json(const SpecificationGraph& spec,
+                            const ExploreResult& result) {
+  JsonObject doc;
+  doc.emplace_back("specification", Json(spec.name()));
+  doc.emplace_back("max_flexibility", Json(result.max_flexibility));
+
+  JsonArray front;
+  for (const Implementation& impl : result.front)
+    front.push_back(implementation_to_json(spec, impl));
+  doc.emplace_back("front", Json(std::move(front)));
+
+  JsonObject stats;
+  stats.emplace_back("universe", Json(result.stats.universe));
+  stats.emplace_back("raw_design_points", Json(result.stats.raw_design_points));
+  stats.emplace_back("candidates_generated",
+                     Json(static_cast<double>(result.stats.candidates_generated)));
+  stats.emplace_back("dominated_skipped",
+                     Json(static_cast<double>(result.stats.dominated_skipped)));
+  stats.emplace_back(
+      "possible_allocations",
+      Json(static_cast<double>(result.stats.possible_allocations)));
+  stats.emplace_back("bound_skipped",
+                     Json(static_cast<double>(result.stats.bound_skipped)));
+  stats.emplace_back(
+      "implementation_attempts",
+      Json(static_cast<double>(result.stats.implementation_attempts)));
+  stats.emplace_back("solver_calls",
+                     Json(static_cast<double>(result.stats.solver_calls)));
+  stats.emplace_back("wall_seconds", Json(result.stats.wall_seconds));
+  doc.emplace_back("stats", Json(std::move(stats)));
+  return Json(std::move(doc));
+}
+
+}  // namespace sdf

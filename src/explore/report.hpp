@@ -1,0 +1,17 @@
+// Machine-readable exploration reports.
+//
+// Serializes an `ExploreResult` to JSON for toolchains that post-process
+// the front (plotting, regression tracking, the CLI's --json mode).
+#pragma once
+
+#include "explore/explorer.hpp"
+#include "util/json.hpp"
+
+namespace sdf {
+
+/// JSON document with the front (cost, flexibility, resources, leaf
+/// clusters, equivalents) and the exploration statistics.
+[[nodiscard]] Json explore_result_to_json(const SpecificationGraph& spec,
+                                          const ExploreResult& result);
+
+}  // namespace sdf

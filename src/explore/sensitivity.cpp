@@ -1,0 +1,52 @@
+#include "explore/sensitivity.hpp"
+
+#include <algorithm>
+
+namespace sdf {
+
+std::vector<AllocUnitId> SensitivityReport::redundant_units() const {
+  std::vector<AllocUnitId> out;
+  for (const UnitSensitivity& u : units)
+    if (u.flexibility_loss == 0.0 && !u.critical) out.push_back(u.unit);
+  return out;
+}
+
+SensitivityReport flexibility_sensitivity(const SpecificationGraph& spec,
+                                          const AllocSet& alloc,
+                                          const ImplementationOptions& options) {
+  SensitivityReport report;
+  const std::optional<Implementation> full =
+      build_implementation(spec, alloc, options);
+  report.flexibility = full.has_value() ? full->flexibility : 0.0;
+
+  alloc.for_each([&](std::size_t i) {
+    UnitSensitivity s;
+    s.unit = AllocUnitId{i};
+    s.cost = spec.alloc_units()[i].cost;
+
+    AllocSet without = alloc;
+    without.reset(i);
+    const std::optional<Implementation> reduced =
+        build_implementation(spec, without, options);
+    if (reduced.has_value()) {
+      s.flexibility_loss = report.flexibility - reduced->flexibility;
+    } else {
+      s.flexibility_loss = report.flexibility;
+      s.critical = true;
+    }
+    if (s.cost > 0.0) s.loss_per_cost = s.flexibility_loss / s.cost;
+    report.units.push_back(s);
+  });
+
+  std::sort(report.units.begin(), report.units.end(),
+            [](const UnitSensitivity& a, const UnitSensitivity& b) {
+              if (a.flexibility_loss != b.flexibility_loss)
+                return a.flexibility_loss > b.flexibility_loss;
+              if (a.loss_per_cost != b.loss_per_cost)
+                return a.loss_per_cost > b.loss_per_cost;
+              return a.unit < b.unit;
+            });
+  return report;
+}
+
+}  // namespace sdf

@@ -1,0 +1,63 @@
+#include "flex/flexibility.hpp"
+
+namespace sdf {
+namespace {
+
+double flexibility_impl(const HierarchicalGraph& g, ClusterId cluster,
+                        const ActivationPredicate& a_plus, bool weighted) {
+  const Cluster& c = g.cluster(cluster);
+  const bool active = c.is_root() ? true : a_plus(cluster);
+  if (!active) return 0.0;
+
+  // Collect the interfaces of this cluster.
+  std::size_t interface_count = 0;
+  double sum = 0.0;
+  for (NodeId nid : c.nodes) {
+    const Node& n = g.node(nid);
+    if (!n.is_interface()) continue;
+    ++interface_count;
+    for (ClusterId sub : n.clusters)
+      sum += flexibility_impl(g, sub, a_plus, weighted);
+  }
+
+  if (interface_count == 0) {
+    // Leaf cluster: contributes 1 (or its weight in the weighted variant).
+    return weighted ? g.attr_or(cluster, kFlexWeightAttr, 1.0) : 1.0;
+  }
+  return sum - (static_cast<double>(interface_count) - 1.0);
+}
+
+}  // namespace
+
+double flexibility(const HierarchicalGraph& g, ClusterId cluster,
+                   const ActivationPredicate& a_plus) {
+  return flexibility_impl(g, cluster, a_plus, /*weighted=*/false);
+}
+
+double flexibility(const HierarchicalGraph& g,
+                   const ActivationPredicate& a_plus) {
+  return flexibility_impl(g, g.root(), a_plus, /*weighted=*/false);
+}
+
+double max_flexibility(const HierarchicalGraph& g) {
+  return flexibility(g, [](ClusterId) { return true; });
+}
+
+double flexibility(const HierarchicalGraph& g,
+                   const DynBitset& activated_clusters) {
+  return flexibility(g, [&](ClusterId c) {
+    return activated_clusters.test(c.index());
+  });
+}
+
+double weighted_flexibility(const HierarchicalGraph& g, ClusterId cluster,
+                            const ActivationPredicate& a_plus) {
+  return flexibility_impl(g, cluster, a_plus, /*weighted=*/true);
+}
+
+double weighted_flexibility(const HierarchicalGraph& g,
+                            const ActivationPredicate& a_plus) {
+  return flexibility_impl(g, g.root(), a_plus, /*weighted=*/true);
+}
+
+}  // namespace sdf

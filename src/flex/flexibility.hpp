@@ -1,0 +1,56 @@
+// The flexibility metric (Def. 4).
+//
+//   f(gamma) = a+(gamma) * ( sum_{psi in gamma.Psi} sum_{gh in psi.Gamma}
+//                            f(gh)  -  (|gamma.Psi| - 1) )      if Psi != {}
+//   f(gamma) = a+(gamma) * 1                                    otherwise
+//
+// where a+(gamma) in {0,1} states whether cluster gamma will ever be
+// activated.  The flexibility of a graph is the flexibility of its root
+// cluster with a+(root) = 1 whenever any behavior is implementable.
+//
+// Footnote 2 of the paper notes that "more sophisticated flexibility
+// calculations are possible, e.g., by using weighted sums"; the weighted
+// variant here reads a per-cluster weight (leaf clusters contribute their
+// weight instead of 1), expressing that some behavioral alternatives are
+// worth more than others.
+#pragma once
+
+#include <functional>
+
+#include "graph/hierarchical_graph.hpp"
+#include "util/dyn_bitset.hpp"
+
+namespace sdf {
+
+/// a+(gamma): whether a cluster will ever be activated in the future.
+using ActivationPredicate = std::function<bool(ClusterId)>;
+
+/// Attribute key for the weighted variant (default weight 1).
+inline constexpr const char* kFlexWeightAttr = "flex_weight";
+
+/// Def. 4 applied to `cluster` under predicate `a_plus`.
+[[nodiscard]] double flexibility(const HierarchicalGraph& g, ClusterId cluster,
+                                 const ActivationPredicate& a_plus);
+
+/// Def. 4 applied to the whole graph (its root cluster; the root itself uses
+/// a+(root) = 1).
+[[nodiscard]] double flexibility(const HierarchicalGraph& g,
+                                 const ActivationPredicate& a_plus);
+
+/// Flexibility with every cluster activatable — the maximal flexibility of
+/// the specification ("computeMaximumFlexibility" of the EXPLORE listing).
+[[nodiscard]] double max_flexibility(const HierarchicalGraph& g);
+
+/// Flexibility under a set-valued predicate: a+(gamma) = activated[gamma].
+[[nodiscard]] double flexibility(const HierarchicalGraph& g,
+                                 const DynBitset& activated_clusters);
+
+/// Weighted variant (footnote 2): leaf clusters contribute their
+/// `flex_weight` attribute (default 1.0) instead of 1.
+[[nodiscard]] double weighted_flexibility(const HierarchicalGraph& g,
+                                          ClusterId cluster,
+                                          const ActivationPredicate& a_plus);
+[[nodiscard]] double weighted_flexibility(const HierarchicalGraph& g,
+                                          const ActivationPredicate& a_plus);
+
+}  // namespace sdf

@@ -1,0 +1,45 @@
+#include "flex/interchange.hpp"
+
+namespace sdf {
+namespace {
+
+double count_impl(const HierarchicalGraph& g, ClusterId cluster,
+                  const ActivationPredicate& a_plus) {
+  const Cluster& c = g.cluster(cluster);
+  if (!c.is_root() && !a_plus(cluster)) return 0.0;
+
+  double product = 1.0;
+  for (NodeId nid : c.nodes) {
+    const Node& n = g.node(nid);
+    if (!n.is_interface()) continue;
+    double sum = 0.0;
+    for (ClusterId sub : n.clusters) sum += count_impl(g, sub, a_plus);
+    product *= sum;  // 0 when no refinement is activatable
+  }
+  return product;
+}
+
+}  // namespace
+
+double behavior_count(const HierarchicalGraph& g, ClusterId cluster,
+                      const ActivationPredicate& a_plus) {
+  return count_impl(g, cluster, a_plus);
+}
+
+double behavior_count(const HierarchicalGraph& g,
+                      const ActivationPredicate& a_plus) {
+  return count_impl(g, g.root(), a_plus);
+}
+
+double max_behavior_count(const HierarchicalGraph& g) {
+  return behavior_count(g, [](ClusterId) { return true; });
+}
+
+double behavior_count(const HierarchicalGraph& g,
+                      const DynBitset& activated_clusters) {
+  return behavior_count(g, [&](ClusterId c) {
+    return activated_clusters.test(c.index());
+  });
+}
+
+}  // namespace sdf

@@ -1,0 +1,43 @@
+// Behavior counting: the "possible interchanges" of §3.
+//
+// "The basic idea, as stated here, is to enumerate the possible
+// interchanges of implementing clusters in the whole system's problem
+// graph."  Def. 4 aggregates those interchanges into the additive
+// flexibility value; this module computes the underlying combinatorial
+// quantity directly: the number of distinct complete behaviors (elementary
+// cluster activations) an activatable-cluster set admits.  The count obeys
+//   behaviors(cluster)  = product over its interfaces of
+//                         (sum over activatable refinements of behaviors)
+// and relates to Def. 4 by f <= behaviors, with equality exactly when no
+// cluster contains more than one interface (the "-(|Psi|-1)" correction of
+// Def. 4 collapses products into sums).
+#pragma once
+
+#include <optional>
+
+#include "flex/flexibility.hpp"
+#include "graph/hierarchical_graph.hpp"
+#include "util/dyn_bitset.hpp"
+
+namespace sdf {
+
+/// Number of complete behaviors of `cluster` under `a_plus`; 0 when the
+/// cluster itself is inactive or some reached interface has no activatable
+/// refinement.  Computed arithmetically (no enumeration), so it is exact
+/// even when the count is astronomically large (double precision permitting).
+[[nodiscard]] double behavior_count(const HierarchicalGraph& g,
+                                    ClusterId cluster,
+                                    const ActivationPredicate& a_plus);
+
+/// Behaviors of the whole graph (root cluster).
+[[nodiscard]] double behavior_count(const HierarchicalGraph& g,
+                                    const ActivationPredicate& a_plus);
+
+/// Behaviors with every cluster activatable.
+[[nodiscard]] double max_behavior_count(const HierarchicalGraph& g);
+
+/// Bitset convenience overload.
+[[nodiscard]] double behavior_count(const HierarchicalGraph& g,
+                                    const DynBitset& activated_clusters);
+
+}  // namespace sdf

@@ -1,0 +1,31 @@
+// Reduced specification graphs (§4).
+//
+// "For every possible resource allocation, we remove all resources that
+// are not activated from the architecture graph.  By removing these
+// elements, also mapping edges are removed from the specification graph.
+// Next, we delete all vertices in the problem graph with no incident
+// mapping edge.  This results in a reduced specification graph."
+//
+// `reduce_specification` materializes exactly that object: a standalone
+// specification containing only the allocated architecture (unallocated
+// top-level vertices and configurations dropped) and the problem vertices
+// still implementable on it.  Flexibility estimation on the reduction
+// equals estimation on the original under the same allocation — which is
+// how the paper evaluates Def. 4 "by solving a single boolean equation".
+#pragma once
+
+#include "spec/specification.hpp"
+
+namespace sdf {
+
+/// The reduction of `spec` under `alloc`.  The result is self-contained
+/// (fresh ids); entity names are preserved, so look-ups by name carry
+/// over.  Problem clusters that are not activatable under `alloc` are
+/// dropped entirely (a cluster merely emptied of its unmappable vertices
+/// would read as a trivially-implementable alternative under Def. 4), so
+/// for every *possible resource allocation* the maximal flexibility of the
+/// reduction equals the flexibility estimate of `alloc` on the original.
+[[nodiscard]] SpecificationGraph reduce_specification(
+    const SpecificationGraph& spec, const AllocSet& alloc);
+
+}  // namespace sdf

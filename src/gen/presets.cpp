@@ -1,0 +1,73 @@
+#include "gen/presets.hpp"
+
+namespace sdf {
+
+const char* preset_name(PlatformPreset preset) {
+  switch (preset) {
+    case PlatformPreset::kSetTopBox: return "settop-box";
+    case PlatformPreset::kAutomotiveEcu: return "automotive-ecu";
+    case PlatformPreset::kBasebandDsp: return "baseband-dsp";
+  }
+  return "?";
+}
+
+GeneratorParams preset_params(PlatformPreset preset, std::uint64_t seed) {
+  GeneratorParams p;
+  p.seed = seed;
+  switch (preset) {
+    case PlatformPreset::kSetTopBox:
+      p.applications = 3;
+      p.processes_per_app_min = 2;
+      p.processes_per_app_max = 4;
+      p.interfaces_per_app_max = 2;
+      p.clusters_per_interface_min = 2;
+      p.clusters_per_interface_max = 3;
+      p.processors = 2;
+      p.accelerators = 2;
+      p.fpga_configs = 3;
+      p.bus_density = 0.5;
+      p.timed_app_prob = 0.6;
+      break;
+    case PlatformPreset::kAutomotiveEcu:
+      p.applications = 6;
+      p.processes_per_app_min = 1;
+      p.processes_per_app_max = 3;
+      p.interfaces_per_app_max = 1;
+      p.clusters_per_interface_min = 2;
+      p.clusters_per_interface_max = 2;
+      p.processors = 4;
+      p.accelerators = 1;
+      p.fpga_configs = 0;
+      p.bus_density = 0.9;
+      p.timed_app_prob = 1.0;     // everything has a deadline
+      p.period_min = 200.0;
+      p.period_max = 800.0;
+      p.accel_mapping_prob = 0.2;
+      break;
+    case PlatformPreset::kBasebandDsp:
+      p.applications = 2;
+      p.processes_per_app_min = 3;
+      p.processes_per_app_max = 5;
+      p.interfaces_per_app_max = 2;
+      p.clusters_per_interface_min = 2;
+      p.clusters_per_interface_max = 4;
+      p.nested_interface_prob = 0.5;  // deep alternative hierarchies
+      p.max_depth = 4;
+      p.processors = 1;
+      p.accelerators = 4;
+      p.fpga_configs = 4;
+      p.bus_density = 0.7;
+      p.accel_mapping_prob = 0.6;
+      p.fpga_mapping_prob = 0.5;
+      p.timed_app_prob = 0.5;
+      break;
+  }
+  return p;
+}
+
+SpecificationGraph generate_preset(PlatformPreset preset,
+                                   std::uint64_t seed) {
+  return generate_spec(preset_params(preset, seed));
+}
+
+}  // namespace sdf

@@ -1,0 +1,35 @@
+// Domain presets for the synthetic generator.
+//
+// Three platform archetypes with distinct structure, standing in for the
+// "industrial size applications" the paper alludes to (§5).  Each preset
+// fixes the structural knobs; the seed still controls the concrete random
+// draws, so a (preset, seed) pair is a reproducible benchmark instance.
+#pragma once
+
+#include "gen/spec_generator.hpp"
+
+namespace sdf {
+
+enum class PlatformPreset {
+  /// Consumer multimedia box (the paper's domain): a handful of rich
+  /// applications, one reconfigurable device, cheap buses.
+  kSetTopBox,
+  /// Automotive ECU network: many small hard-real-time functions, several
+  /// processors, dense bus matrix, hardly any reconfigurable logic.
+  kAutomotiveEcu,
+  /// Baseband / DSP farm: few applications with deep alternative
+  /// hierarchies, many accelerators and FPGA configurations.
+  kBasebandDsp,
+};
+
+[[nodiscard]] const char* preset_name(PlatformPreset preset);
+
+/// Generator parameters of `preset` with randomness tied to `seed`.
+[[nodiscard]] GeneratorParams preset_params(PlatformPreset preset,
+                                            std::uint64_t seed);
+
+/// Convenience: generate directly from a preset.
+[[nodiscard]] SpecificationGraph generate_preset(PlatformPreset preset,
+                                                 std::uint64_t seed);
+
+}  // namespace sdf

@@ -1,0 +1,156 @@
+#include "gen/spec_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spec/builder.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace sdf {
+namespace {
+
+class Generator {
+ public:
+  explicit Generator(const GeneratorParams& params)
+      : params_(params), rng_(params.seed) {}
+
+  SpecificationGraph run() {
+    build_architecture();
+    build_problem();
+    return builder_.build();
+  }
+
+ private:
+  double rand_cost() {
+    return std::floor(rng_.uniform_double(params_.cost_min, params_.cost_max));
+  }
+  double rand_latency() {
+    return std::floor(
+        rng_.uniform_double(params_.latency_min, params_.latency_max));
+  }
+
+  void build_architecture() {
+    for (std::size_t i = 0; i < params_.processors; ++i)
+      cpus_.push_back(
+          builder_.resource(strprintf("cpu%zu", i), rand_cost()));
+    for (std::size_t i = 0; i < params_.accelerators; ++i)
+      accels_.push_back(
+          builder_.resource(strprintf("acc%zu", i), rand_cost()));
+    if (params_.fpga_configs > 0) {
+      fpga_ = builder_.device("fpga", 0.0);
+      for (std::size_t i = 0; i < params_.fpga_configs; ++i)
+        configs_.push_back(builder_.configuration(
+            fpga_, strprintf("cfg%zu", i), rand_cost()));
+    }
+    // Buses: every cpu-accelerator / cpu-fpga pair gets one with probability
+    // bus_density; ensure at least one bus per accelerator/device so no
+    // resource is structurally unusable.
+    std::size_t bus_id = 0;
+    auto wire = [&](NodeId a, NodeId b) {
+      builder_.bus(strprintf("bus%zu", bus_id++),
+                   std::floor(rng_.uniform_double(5.0, 30.0)), {a, b});
+    };
+    for (NodeId acc : accels_) {
+      bool wired = false;
+      for (NodeId cpu : cpus_) {
+        if (rng_.chance(params_.bus_density)) {
+          wire(cpu, acc);
+          wired = true;
+        }
+      }
+      if (!wired && !cpus_.empty())
+        wire(cpus_[rng_.pick_index(cpus_)], acc);
+    }
+    if (fpga_.valid()) {
+      bool wired = false;
+      for (NodeId cpu : cpus_) {
+        if (rng_.chance(params_.bus_density)) {
+          wire(cpu, fpga_);
+          wired = true;
+        }
+      }
+      if (!wired && !cpus_.empty()) wire(cpus_[rng_.pick_index(cpus_)], fpga_);
+    }
+  }
+
+  /// Maps `process` onto all cpus plus random accelerators/configurations.
+  void map_process(NodeId process) {
+    for (NodeId cpu : cpus_) builder_.map(process, cpu, rand_latency());
+    for (NodeId acc : accels_)
+      if (rng_.chance(params_.accel_mapping_prob))
+        // Accelerators are faster: halve the latency scale.
+        builder_.map(process, acc, std::max(1.0, rand_latency() / 2.0));
+    for (NodeId cfg : configs_)
+      if (rng_.chance(params_.fpga_mapping_prob))
+        builder_.map(process, cfg, std::max(1.0, rand_latency() / 2.0));
+  }
+
+  /// Fills `cluster` with a small chain of processes and, depth permitting,
+  /// nested interfaces with alternatives.
+  void fill_cluster(ClusterId cluster, std::size_t depth, double period) {
+    const std::size_t nproc = static_cast<std::size_t>(rng_.uniform_int(
+        static_cast<std::int64_t>(params_.processes_per_app_min),
+        static_cast<std::int64_t>(params_.processes_per_app_max)));
+    NodeId prev;
+    for (std::size_t i = 0; i < nproc; ++i) {
+      const NodeId p = builder_.process(
+          strprintf("p%zu", next_process_id_++), cluster);
+      map_process(p);
+      if (period > 0.0) builder_.timing(p, period);
+      if (prev.valid()) builder_.depends(prev, p);
+      prev = p;
+    }
+
+    if (depth >= params_.max_depth) return;
+    const std::size_t nif = static_cast<std::size_t>(
+        rng_.uniform(params_.interfaces_per_app_max + 1));
+    for (std::size_t i = 0; i < nif; ++i) {
+      const NodeId iface = builder_.interface(
+          strprintf("if%zu", next_interface_id_++), cluster);
+      if (prev.valid()) builder_.depends(prev, iface);
+      const std::size_t nclusters = static_cast<std::size_t>(rng_.uniform_int(
+          static_cast<std::int64_t>(params_.clusters_per_interface_min),
+          static_cast<std::int64_t>(params_.clusters_per_interface_max)));
+      for (std::size_t c = 0; c < nclusters; ++c) {
+        const ClusterId sub = builder_.alternative(
+            iface, strprintf("c%zu", next_cluster_id_++));
+        const bool nest = rng_.chance(params_.nested_interface_prob);
+        fill_cluster(sub, nest ? depth + 1 : params_.max_depth, period);
+      }
+    }
+  }
+
+  void build_problem() {
+    const NodeId iapp = builder_.interface("apps");
+    for (std::size_t a = 0; a < params_.applications; ++a) {
+      const ClusterId app =
+          builder_.alternative(iapp, strprintf("app%zu", a));
+      const double period =
+          rng_.chance(params_.timed_app_prob)
+              ? std::floor(rng_.uniform_double(params_.period_min,
+                                               params_.period_max))
+              : 0.0;
+      fill_cluster(app, 1, period);
+    }
+  }
+
+  GeneratorParams params_;
+  Rng rng_;
+  SpecBuilder builder_{"synthetic"};
+  std::vector<NodeId> cpus_;
+  std::vector<NodeId> accels_;
+  NodeId fpga_;
+  std::vector<NodeId> configs_;
+  std::size_t next_process_id_ = 0;
+  std::size_t next_interface_id_ = 0;
+  std::size_t next_cluster_id_ = 0;
+};
+
+}  // namespace
+
+SpecificationGraph generate_spec(const GeneratorParams& params) {
+  return Generator(params).run();
+}
+
+}  // namespace sdf

@@ -1,0 +1,58 @@
+// Seeded synthetic specification generator.
+//
+// The paper claims "industrial size applications can be efficiently explored
+// within minutes" on search spaces of 10^5 - 10^12 design points.  Those
+// industrial models are not published; this generator produces structurally
+// similar specifications — a platform of processors/accelerators/buses and
+// a set of applications with alternative-rich hierarchies — at controlled
+// sizes, so the scaling behavior of EXPLORE (vs. the exhaustive and
+// evolutionary baselines) can be measured.  Everything is deterministic in
+// the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "spec/specification.hpp"
+
+namespace sdf {
+
+struct GeneratorParams {
+  std::uint64_t seed = 1;
+
+  // Problem side.
+  std::size_t applications = 3;           ///< top-level alternatives
+  std::size_t processes_per_app_min = 2;  ///< fixed processes per application
+  std::size_t processes_per_app_max = 4;
+  std::size_t interfaces_per_app_max = 2;  ///< variation points per app
+  std::size_t clusters_per_interface_min = 2;
+  std::size_t clusters_per_interface_max = 3;
+  /// Probability that a refinement cluster nests another interface.
+  double nested_interface_prob = 0.15;
+  std::size_t max_depth = 3;
+
+  // Architecture side.
+  std::size_t processors = 2;    ///< general-purpose (run everything)
+  std::size_t accelerators = 2;  ///< specialized (run a random subset)
+  std::size_t fpga_configs = 2;  ///< configurations of one device
+  double bus_density = 0.6;      ///< probability of a bus per cpu/acc pair
+
+  // Mapping side.
+  double accel_mapping_prob = 0.4;  ///< process mappable onto an accelerator
+  double fpga_mapping_prob = 0.25;  ///< process mappable onto a config
+
+  // Annotations.
+  double cost_min = 50.0, cost_max = 300.0;
+  double latency_min = 10.0, latency_max = 100.0;
+  /// Probability that an application carries a period constraint.
+  double timed_app_prob = 0.5;
+  /// Period range for constrained applications (chosen so that feasibility
+  /// is workload-dependent rather than trivial).
+  double period_min = 150.0, period_max = 600.0;
+};
+
+/// Generates a random-but-valid specification from `params`.  Every process
+/// is mappable to at least one processor, so possible resource allocations
+/// always exist.
+[[nodiscard]] SpecificationGraph generate_spec(const GeneratorParams& params);
+
+}  // namespace sdf

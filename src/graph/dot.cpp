@@ -1,0 +1,72 @@
+#include "graph/dot.hpp"
+
+#include "util/strings.hpp"
+
+namespace sdf {
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9'))
+      out += c;
+    else
+      out += '_';
+  }
+  return out;
+}
+
+std::string node_label(const HierarchicalGraph& g, const Node& n,
+                       const DotOptions& options) {
+  std::string label = n.name;
+  if (options.show_attrs) {
+    for (const auto& [key, value] : n.attrs) {
+      label += "\\n" + key + "=" + format_double(value);
+    }
+  }
+  return label;
+}
+
+void emit_cluster(const HierarchicalGraph& g, ClusterId cid,
+                  const DotOptions& options, std::string& out, int depth) {
+  const Cluster& c = g.cluster(cid);
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  if (!c.is_root()) {
+    out += pad + "subgraph cluster_" + std::to_string(cid.value()) + " {\n";
+    out += pad + "  label=\"" + c.name + "\";\n";
+    out += pad + "  style=dashed;\n";
+  }
+  for (NodeId nid : c.nodes) {
+    const Node& n = g.node(nid);
+    out += pad + "  n" + std::to_string(nid.value()) + " [label=\"" +
+           node_label(g, n, options) + "\"";
+    out += n.is_interface() ? ", shape=diamond" : ", shape=ellipse";
+    out += "];\n";
+    if (n.is_interface()) {
+      for (ClusterId sub : n.clusters) emit_cluster(g, sub, options, out,
+                                                    depth + 1);
+    }
+  }
+  for (EdgeId eid : c.edges) {
+    const Edge& e = g.edge(eid);
+    out += pad + "  n" + std::to_string(e.from.value()) + " -> n" +
+           std::to_string(e.to.value()) + ";\n";
+  }
+  if (!c.is_root()) out += pad + "}\n";
+}
+
+}  // namespace
+
+std::string to_dot(const HierarchicalGraph& g, const DotOptions& options) {
+  std::string out = "digraph " + sanitize(g.name()) + " {\n";
+  if (!options.title.empty()) out += "  label=\"" + options.title + "\";\n";
+  out += "  rankdir=LR;\n";
+  emit_cluster(g, g.root(), options, out, 1);
+  // Dashed containment hints: interface -> its clusters' first nodes are
+  // already visually grouped by the subgraph boxes; nothing further needed.
+  out += "}\n";
+  return out;
+}
+
+}  // namespace sdf

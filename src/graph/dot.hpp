@@ -1,0 +1,25 @@
+// Graphviz DOT export of hierarchical graphs.
+//
+// Clusters render as `subgraph cluster_*` boxes, interfaces as diamonds,
+// vertices as ellipses; useful for eyeballing models against the paper's
+// figures.
+#pragma once
+
+#include <string>
+
+#include "graph/hierarchical_graph.hpp"
+
+namespace sdf {
+
+struct DotOptions {
+  /// Graph title placed as a label.
+  std::string title;
+  /// Renders the "cost"/"period" attributes next to node names when present.
+  bool show_attrs = true;
+};
+
+/// DOT source for `g`.
+[[nodiscard]] std::string to_dot(const HierarchicalGraph& g,
+                                 const DotOptions& options = {});
+
+}  // namespace sdf

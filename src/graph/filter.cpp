@@ -1,0 +1,102 @@
+#include "graph/filter.hpp"
+
+namespace sdf {
+namespace {
+
+class Filter {
+ public:
+  Filter(const HierarchicalGraph& g,
+         const std::function<bool(const Node&)>& keep,
+         const std::function<bool(const Cluster&)>& keep_cluster)
+      : g_(g), keep_(keep), keep_cluster_(keep_cluster) {
+    result_.graph = HierarchicalGraph(g.name());
+    result_.node_map.assign(g.node_count(), NodeId{});
+    result_.cluster_map.assign(g.cluster_count(), ClusterId{});
+  }
+
+  FilterResult run() {
+    result_.cluster_map[g_.root().index()] = result_.graph.root();
+    copy_cluster(g_.root(), result_.graph.root());
+    copy_edges_and_ports();
+    return std::move(result_);
+  }
+
+ private:
+  void copy_cluster(ClusterId src, ClusterId dst) {
+    // Attributes of non-root clusters are copied at creation; root attrs
+    // here.
+    for (const auto& [k, v] : g_.cluster(src).attrs)
+      result_.graph.set_attr(dst, k, v);
+    for (NodeId nid : g_.cluster(src).nodes) {
+      const Node& n = g_.node(nid);
+      if (!keep_(n)) continue;
+      NodeId copy;
+      if (n.is_interface()) {
+        copy = result_.graph.add_interface(dst, n.name);
+        for (ClusterId sub : n.clusters) {
+          if (!keep_cluster_(g_.cluster(sub))) continue;
+          const ClusterId sub_copy =
+              result_.graph.add_cluster(copy, g_.cluster(sub).name);
+          result_.cluster_map[sub.index()] = sub_copy;
+          copy_cluster(sub, sub_copy);
+        }
+      } else {
+        copy = result_.graph.add_vertex(dst, n.name);
+      }
+      result_.node_map[nid.index()] = copy;
+      for (const auto& [k, v] : n.attrs) result_.graph.set_attr(copy, k, v);
+    }
+  }
+
+  void copy_edges_and_ports() {
+    // Ports first so edges can reference them.
+    std::vector<PortId> port_map(g_.port_count(), PortId{});
+    for (const Node& n : g_.nodes()) {
+      if (!n.is_interface()) continue;
+      const NodeId owner = result_.node_map[n.id.index()];
+      if (!owner.valid()) continue;
+      for (PortId pid : n.ports) {
+        const Port& p = g_.port(pid);
+        const PortId copy =
+            result_.graph.add_port(owner, p.name, p.direction);
+        port_map[pid.index()] = copy;
+        for (const auto& [cluster, target] : p.mapping) {
+          const ClusterId c = result_.cluster_map[cluster.index()];
+          const NodeId t = result_.node_map[target.index()];
+          if (c.valid() && t.valid()) result_.graph.map_port(copy, c, t);
+        }
+      }
+    }
+    for (const Edge& e : g_.edges()) {
+      const NodeId from = result_.node_map[e.from.index()];
+      const NodeId to = result_.node_map[e.to.index()];
+      if (!from.valid() || !to.valid()) continue;
+      const PortId sp =
+          e.src_port.valid() ? port_map[e.src_port.index()] : PortId{};
+      const PortId dp =
+          e.dst_port.valid() ? port_map[e.dst_port.index()] : PortId{};
+      const EdgeId copy = result_.graph.add_edge(from, to, sp, dp);
+      for (const auto& [k, v] : e.attrs) result_.graph.set_attr(copy, k, v);
+    }
+  }
+
+  const HierarchicalGraph& g_;
+  const std::function<bool(const Node&)>& keep_;
+  const std::function<bool(const Cluster&)>& keep_cluster_;
+  FilterResult result_;
+};
+
+}  // namespace
+
+FilterResult filter_graph(const HierarchicalGraph& g,
+                          const std::function<bool(const Node&)>& keep) {
+  return filter_graph(g, keep, [](const Cluster&) { return true; });
+}
+
+FilterResult filter_graph(
+    const HierarchicalGraph& g, const std::function<bool(const Node&)>& keep,
+    const std::function<bool(const Cluster&)>& keep_cluster) {
+  return Filter(g, keep, keep_cluster).run();
+}
+
+}  // namespace sdf

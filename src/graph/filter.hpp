@@ -1,0 +1,45 @@
+// Structure-preserving filtering of hierarchical graphs.
+//
+// Produces a copy of a graph containing only the nodes accepted by a
+// predicate: dropped vertices take their incident edges with them, dropped
+// interfaces take their whole refinement subtrees, and clusters always
+// survive (a cluster emptied of nodes is still a valid — trivially
+// implementable — alternative; callers can drop such clusters' interfaces
+// explicitly if they want stricter semantics).
+//
+// The result has fresh dense ids; `FilterResult::node_map` translates old
+// ids to new ones (invalid = dropped).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/hierarchical_graph.hpp"
+
+namespace sdf {
+
+struct FilterResult {
+  HierarchicalGraph graph;
+  /// old NodeId index -> new NodeId (invalid when dropped)
+  std::vector<NodeId> node_map;
+  /// old ClusterId index -> new ClusterId (invalid when dropped)
+  std::vector<ClusterId> cluster_map;
+};
+
+/// Copies `g`, keeping exactly the nodes for which `keep(node)` returns
+/// true (and, for kept interfaces, their refinement clusters, recursively
+/// filtered).  Edges survive iff both endpoints survive.  Ports survive
+/// with their owning interface; port mappings survive iff their target
+/// survives.  Attributes are copied.
+[[nodiscard]] FilterResult filter_graph(
+    const HierarchicalGraph& g,
+    const std::function<bool(const Node&)>& keep);
+
+/// Variant with an additional cluster predicate: refinement clusters for
+/// which `keep_cluster` returns false are dropped with their subtrees
+/// (the root cluster is always kept).
+[[nodiscard]] FilterResult filter_graph(
+    const HierarchicalGraph& g, const std::function<bool(const Node&)>& keep,
+    const std::function<bool(const Cluster&)>& keep_cluster);
+
+}  // namespace sdf

@@ -1,0 +1,160 @@
+#include "graph/flatten.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace sdf {
+
+void ClusterSelection::select(const HierarchicalGraph& g, ClusterId cluster) {
+  const Cluster& c = g.cluster(cluster);
+  SDF_CHECK(!c.is_root(), "cannot select the root cluster");
+  choice_[c.parent] = cluster;
+}
+
+ClusterId ClusterSelection::selected(NodeId iface) const {
+  const auto it = choice_.find(iface);
+  return it == choice_.end() ? ClusterId{} : it->second;
+}
+
+ClusterSelection ClusterSelection::first_of_each(const HierarchicalGraph& g) {
+  ClusterSelection s;
+  for (NodeId iface : g.all_interfaces()) {
+    const Node& n = g.node(iface);
+    if (!n.clusters.empty()) s.select(g, n.clusters.front());
+  }
+  return s;
+}
+
+bool FlatGraph::contains_vertex(NodeId v) const {
+  return std::binary_search(vertices.begin(), vertices.end(), v);
+}
+
+namespace {
+
+/// Nodes of `cluster` with no in-edge (sources) or no out-edge (sinks),
+/// considering only edges of that cluster.
+std::vector<NodeId> boundary_nodes(const HierarchicalGraph& g,
+                                   const Cluster& cluster, bool sources) {
+  std::vector<NodeId> out;
+  for (NodeId nid : cluster.nodes) {
+    const Node& n = g.node(nid);
+    const auto& edges = sources ? n.in_edges : n.out_edges;
+    if (edges.empty()) out.push_back(nid);
+  }
+  return out;
+}
+
+class Flattener {
+ public:
+  Flattener(const HierarchicalGraph& g, const ClusterSelection& sel)
+      : g_(g), sel_(sel) {}
+
+  Result<FlatGraph> run() {
+    Status s = expand(g_.root());
+    if (!s.ok()) return s.error();
+    std::sort(flat_.vertices.begin(), flat_.vertices.end());
+    std::sort(flat_.active_clusters.begin(), flat_.active_clusters.end());
+    std::sort(flat_.active_interfaces.begin(), flat_.active_interfaces.end());
+    std::sort(flat_.edges.begin(), flat_.edges.end());
+    flat_.edges.erase(std::unique(flat_.edges.begin(), flat_.edges.end()),
+                      flat_.edges.end());
+    return std::move(flat_);
+  }
+
+ private:
+  /// Activates all nodes and edges of `cid` (activation rule 2) and recurses
+  /// into selected clusters of its interfaces (rule 1).
+  Status expand(ClusterId cid) {
+    const Cluster& c = g_.cluster(cid);
+    for (NodeId nid : c.nodes) {
+      const Node& n = g_.node(nid);
+      if (!n.is_interface()) {
+        flat_.vertices.push_back(nid);
+        continue;
+      }
+      flat_.active_interfaces.push_back(nid);
+      const ClusterId chosen = sel_.selected(nid);
+      if (!chosen.valid()) {
+        return Error{"no cluster selected for interface '" + n.name + "'"};
+      }
+      bool legal = false;
+      for (ClusterId option : n.clusters) legal |= option == chosen;
+      if (!legal) {
+        return Error{"selected cluster does not refine interface '" + n.name +
+                     "'"};
+      }
+      flat_.active_clusters.push_back(chosen);
+      Status s = expand(chosen);
+      if (!s.ok()) return s;
+    }
+    for (EdgeId eid : c.edges) {
+      Status s = add_flat_edge(g_.edge(eid));
+      if (!s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+
+  /// Resolves an interface endpoint to the concrete leaf inside its selected
+  /// cluster, following port mappings (or unique boundary nodes) through
+  /// arbitrarily many hierarchy levels.
+  Result<NodeId> resolve(NodeId node, PortId port, bool incoming) {
+    NodeId cur = node;
+    PortId cur_port = port;
+    while (g_.node(cur).is_interface()) {
+      const Node& n = g_.node(cur);
+      const ClusterId chosen = sel_.selected(cur);
+      if (!chosen.valid()) {
+        return Error{"no cluster selected for interface '" + n.name + "'"};
+      }
+      NodeId next;
+      if (cur_port.valid()) {
+        const Port& p = g_.port(cur_port);
+        const auto it = p.mapping.find(chosen);
+        if (it == p.mapping.end()) {
+          return Error{strprintf(
+              "port '%s' of interface '%s' is not mapped for cluster '%s'",
+              p.name.c_str(), n.name.c_str(),
+              g_.cluster(chosen).name.c_str())};
+        }
+        next = it->second;
+      } else {
+        const std::vector<NodeId> candidates =
+            boundary_nodes(g_, g_.cluster(chosen), incoming);
+        if (candidates.size() != 1) {
+          return Error{strprintf(
+              "interface '%s': default port resolution into cluster '%s' is "
+              "ambiguous (%zu boundary nodes); declare explicit ports",
+              n.name.c_str(), g_.cluster(chosen).name.c_str(),
+              candidates.size())};
+        }
+        next = candidates.front();
+      }
+      cur = next;
+      cur_port = PortId{};  // nested hops use default resolution
+    }
+    return cur;
+  }
+
+  Status add_flat_edge(const Edge& e) {
+    Result<NodeId> from = resolve(e.from, e.src_port, /*incoming=*/false);
+    if (!from.ok()) return from.error();
+    Result<NodeId> to = resolve(e.to, e.dst_port, /*incoming=*/true);
+    if (!to.ok()) return to.error();
+    flat_.edges.emplace_back(from.value(), to.value());
+    return Status::Ok();
+  }
+
+  const HierarchicalGraph& g_;
+  const ClusterSelection& sel_;
+  FlatGraph flat_;
+};
+
+}  // namespace
+
+Result<FlatGraph> flatten(const HierarchicalGraph& g,
+                          const ClusterSelection& selection) {
+  return Flattener(g, selection).run();
+}
+
+}  // namespace sdf

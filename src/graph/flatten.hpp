@@ -1,0 +1,77 @@
+// Cluster selection and hierarchy flattening.
+//
+// "For a given selection of clusters, the hierarchical model can be
+// flattened. [...] The result is a non-hierarchical specification."  (§2)
+//
+// A `ClusterSelection` assigns to each interface exactly one of its
+// alternative clusters (hierarchical-activation rule 1).  `flatten` expands
+// the hierarchy under such a selection: interfaces are replaced by the
+// contents of their selected cluster, edges incident to an interface are
+// re-targeted through the port mapping, and the result is a plain
+// (non-hierarchical) graph over leaf vertices.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/hierarchical_graph.hpp"
+#include "util/status.hpp"
+
+namespace sdf {
+
+/// Exactly-one-cluster-per-interface choice (rule 1 of hierarchical
+/// activation).  Interfaces that are never reached by the selection (because
+/// an enclosing interface selected a different cluster) may be left
+/// unassigned.
+class ClusterSelection {
+ public:
+  ClusterSelection() = default;
+
+  /// Selects `cluster` for its owning interface; overwrites any previous
+  /// choice for that interface.
+  void select(const HierarchicalGraph& g, ClusterId cluster);
+
+  /// The cluster selected for `iface`; invalid id when unassigned.
+  [[nodiscard]] ClusterId selected(NodeId iface) const;
+
+  [[nodiscard]] bool has(NodeId iface) const { return selected(iface).valid(); }
+  [[nodiscard]] std::size_t size() const { return choice_.size(); }
+
+  /// Selects the first refinement of every interface — a canonical default.
+  [[nodiscard]] static ClusterSelection first_of_each(
+      const HierarchicalGraph& g);
+
+ private:
+  std::unordered_map<NodeId, ClusterId> choice_;
+};
+
+/// A flattened (non-hierarchical) view of a hierarchical graph under a
+/// cluster selection.
+struct FlatGraph {
+  /// Active leaf vertices, ascending id order.
+  std::vector<NodeId> vertices;
+  /// Active flat edges between leaf vertices (interface endpoints resolved
+  /// through port mappings).
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  /// Clusters activated by the selection (excluding the root), ascending.
+  std::vector<ClusterId> active_clusters;
+  /// Interfaces activated by the selection, ascending.
+  std::vector<NodeId> active_interfaces;
+
+  [[nodiscard]] bool contains_vertex(NodeId v) const;
+};
+
+/// Flattens `g` under `selection`, starting from the root cluster.
+///
+/// Edge endpoints that are interfaces resolve as follows: if the edge names
+/// a port, the port mapping of the selected cluster applies (recursively,
+/// should the mapped node be an interface again).  If the edge names no
+/// port, the selected cluster must have a unique source (for incoming edges)
+/// or unique sink (for outgoing edges); that node is used.  Ambiguity or a
+/// missing mapping is an error.
+///
+/// Fails when a reached interface has no selected cluster.
+[[nodiscard]] Result<FlatGraph> flatten(const HierarchicalGraph& g,
+                                        const ClusterSelection& selection);
+
+}  // namespace sdf

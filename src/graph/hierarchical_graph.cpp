@@ -1,0 +1,242 @@
+#include "graph/hierarchical_graph.hpp"
+
+#include <algorithm>
+
+namespace sdf {
+
+HierarchicalGraph::HierarchicalGraph(std::string name)
+    : name_(std::move(name)) {
+  Cluster root;
+  root.id = ClusterId{clusters_.size()};
+  root.name = name_ + ".root";
+  clusters_.push_back(std::move(root));
+  root_ = clusters_.back().id;
+}
+
+Node& HierarchicalGraph::mutable_node(NodeId id) {
+  SDF_CHECK(id.valid() && id.index() < nodes_.size(), "bad NodeId");
+  return nodes_[id.index()];
+}
+
+Cluster& HierarchicalGraph::mutable_cluster(ClusterId id) {
+  SDF_CHECK(id.valid() && id.index() < clusters_.size(), "bad ClusterId");
+  return clusters_[id.index()];
+}
+
+NodeId HierarchicalGraph::add_vertex(ClusterId cluster, std::string name) {
+  Cluster& c = mutable_cluster(cluster);
+  Node n;
+  n.id = NodeId{nodes_.size()};
+  n.kind = NodeKind::kVertex;
+  n.name = std::move(name);
+  n.parent = cluster;
+  c.nodes.push_back(n.id);
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+NodeId HierarchicalGraph::add_interface(ClusterId cluster, std::string name) {
+  const NodeId id = add_vertex(cluster, std::move(name));
+  nodes_[id.index()].kind = NodeKind::kInterface;
+  return id;
+}
+
+ClusterId HierarchicalGraph::add_cluster(NodeId iface, std::string name) {
+  Node& n = mutable_node(iface);
+  SDF_CHECK(n.is_interface(), "clusters refine interfaces only");
+  Cluster c;
+  c.id = ClusterId{clusters_.size()};
+  c.name = std::move(name);
+  c.parent = iface;
+  n.clusters.push_back(c.id);
+  clusters_.push_back(std::move(c));
+  return clusters_.back().id;
+}
+
+EdgeId HierarchicalGraph::add_edge(NodeId from, NodeId to) {
+  return add_edge(from, to, PortId{}, PortId{});
+}
+
+EdgeId HierarchicalGraph::add_edge(NodeId from, NodeId to, PortId src_port,
+                                   PortId dst_port) {
+  Node& nf = mutable_node(from);
+  Node& nt = mutable_node(to);
+  SDF_CHECK(nf.parent == nt.parent,
+            "dependence edges must stay inside one cluster");
+  if (src_port.valid()) {
+    SDF_CHECK(port(src_port).owner == from, "src_port not owned by `from`");
+  }
+  if (dst_port.valid()) {
+    SDF_CHECK(port(dst_port).owner == to, "dst_port not owned by `to`");
+  }
+  Edge e;
+  e.id = EdgeId{edges_.size()};
+  e.from = from;
+  e.to = to;
+  e.src_port = src_port;
+  e.dst_port = dst_port;
+  nf.out_edges.push_back(e.id);
+  nt.in_edges.push_back(e.id);
+  mutable_cluster(nf.parent).edges.push_back(e.id);
+  edges_.push_back(std::move(e));
+  return edges_.back().id;
+}
+
+PortId HierarchicalGraph::add_port(NodeId iface, std::string name,
+                                   PortDirection direction) {
+  Node& n = mutable_node(iface);
+  SDF_CHECK(n.is_interface(), "ports belong to interfaces only");
+  Port p;
+  p.id = PortId{ports_.size()};
+  p.owner = iface;
+  p.name = std::move(name);
+  p.direction = direction;
+  n.ports.push_back(p.id);
+  ports_.push_back(std::move(p));
+  return ports_.back().id;
+}
+
+void HierarchicalGraph::map_port(PortId port, ClusterId cluster,
+                                 NodeId target) {
+  SDF_CHECK(port.valid() && port.index() < ports_.size(), "bad PortId");
+  Port& p = ports_[port.index()];
+  const Cluster& c = this->cluster(cluster);
+  SDF_CHECK(c.parent == p.owner, "cluster does not refine the port's owner");
+  SDF_CHECK(node(target).parent == cluster, "port target not inside cluster");
+  p.mapping[cluster] = target;
+}
+
+void HierarchicalGraph::set_attr(NodeId node, std::string_view key,
+                                 double value) {
+  mutable_node(node).attrs[std::string(key)] = value;
+}
+
+void HierarchicalGraph::set_attr(ClusterId cluster, std::string_view key,
+                                 double value) {
+  mutable_cluster(cluster).attrs[std::string(key)] = value;
+}
+
+void HierarchicalGraph::set_attr(EdgeId edge, std::string_view key,
+                                 double value) {
+  SDF_CHECK(edge.valid() && edge.index() < edges_.size(), "bad EdgeId");
+  edges_[edge.index()].attrs[std::string(key)] = value;
+}
+
+namespace {
+double attr_from(const std::map<std::string, double, std::less<>>& attrs,
+                 std::string_view key, double fallback) {
+  const auto it = attrs.find(key);
+  return it == attrs.end() ? fallback : it->second;
+}
+}  // namespace
+
+double HierarchicalGraph::attr_or(NodeId node, std::string_view key,
+                                  double fallback) const {
+  return attr_from(this->node(node).attrs, key, fallback);
+}
+
+double HierarchicalGraph::attr_or(ClusterId cluster, std::string_view key,
+                                  double fallback) const {
+  return attr_from(this->cluster(cluster).attrs, key, fallback);
+}
+
+double HierarchicalGraph::attr_or(EdgeId edge, std::string_view key,
+                                  double fallback) const {
+  return attr_from(this->edge(edge).attrs, key, fallback);
+}
+
+const Node& HierarchicalGraph::node(NodeId id) const {
+  SDF_CHECK(id.valid() && id.index() < nodes_.size(), "bad NodeId");
+  return nodes_[id.index()];
+}
+
+const Edge& HierarchicalGraph::edge(EdgeId id) const {
+  SDF_CHECK(id.valid() && id.index() < edges_.size(), "bad EdgeId");
+  return edges_[id.index()];
+}
+
+const Cluster& HierarchicalGraph::cluster(ClusterId id) const {
+  SDF_CHECK(id.valid() && id.index() < clusters_.size(), "bad ClusterId");
+  return clusters_[id.index()];
+}
+
+const Port& HierarchicalGraph::port(PortId id) const {
+  SDF_CHECK(id.valid() && id.index() < ports_.size(), "bad PortId");
+  return ports_[id.index()];
+}
+
+NodeId HierarchicalGraph::find_node(std::string_view name) const {
+  for (const Node& n : nodes_)
+    if (n.name == name) return n.id;
+  return NodeId{};
+}
+
+ClusterId HierarchicalGraph::find_cluster(std::string_view name) const {
+  for (const Cluster& c : clusters_)
+    if (c.name == name) return c.id;
+  return ClusterId{};
+}
+
+PortId HierarchicalGraph::find_port(NodeId iface, std::string_view name) const {
+  for (PortId pid : node(iface).ports)
+    if (port(pid).name == name) return pid;
+  return PortId{};
+}
+
+std::vector<NodeId> HierarchicalGraph::leaves(ClusterId cluster) const {
+  // Eq. 1: V_l(G) = G.V  u  U_{psi in G.Psi} U_{gamma in psi.Gamma} V_l(gamma)
+  std::vector<NodeId> out;
+  std::vector<ClusterId> stack{cluster};
+  while (!stack.empty()) {
+    const ClusterId cid = stack.back();
+    stack.pop_back();
+    for (NodeId nid : this->cluster(cid).nodes) {
+      const Node& n = node(nid);
+      if (n.is_interface()) {
+        for (ClusterId sub : n.clusters) stack.push_back(sub);
+      } else {
+        out.push_back(nid);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t HierarchicalGraph::depth(ClusterId cluster) const {
+  std::size_t best = 1;
+  for (NodeId nid : this->cluster(cluster).nodes) {
+    const Node& n = node(nid);
+    if (!n.is_interface()) continue;
+    for (ClusterId sub : n.clusters) best = std::max(best, 1 + depth(sub));
+  }
+  return best;
+}
+
+std::vector<ClusterId> HierarchicalGraph::ancestry(ClusterId cluster) const {
+  std::vector<ClusterId> chain;
+  ClusterId cur = cluster;
+  while (cur.valid()) {
+    chain.push_back(cur);
+    const Cluster& c = this->cluster(cur);
+    cur = c.is_root() ? ClusterId{} : node(c.parent).parent;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+std::vector<NodeId> HierarchicalGraph::all_interfaces() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_)
+    if (n.is_interface()) out.push_back(n.id);
+  return out;
+}
+
+std::vector<ClusterId> HierarchicalGraph::all_refinement_clusters() const {
+  std::vector<ClusterId> out;
+  for (const Cluster& c : clusters_)
+    if (!c.is_root()) out.push_back(c.id);
+  return out;
+}
+
+}  // namespace sdf

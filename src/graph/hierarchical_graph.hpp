@@ -1,0 +1,219 @@
+// Hierarchical graphs (Def. 1 of Haubelt et al., DATE 2002).
+//
+// A hierarchical graph G = (V, E, Psi, Gamma) consists of plain vertices V,
+// edges E, *interfaces* Psi (hierarchical vertices), and *clusters* Gamma
+// (subgraphs).  Every interface is refined by one or more alternative
+// clusters; clusters recursively contain vertices, edges and further
+// interfaces.  Interfaces expose *ports*; a *port mapping* embeds a cluster
+// into its interface by assigning, per cluster, an internal node to each
+// port.
+//
+// This implementation stores the whole hierarchy in one arena:
+//  * every vertex/interface is a `Node` owned by exactly one cluster,
+//  * every cluster is owned by exactly one interface — except the *root
+//    cluster*, which represents the top level of the graph,
+//  * every edge connects two nodes of the same cluster (dependence edges
+//    never cross cluster boundaries; crossing connections go through ports).
+//
+// Dense ids (`NodeId`, `EdgeId`, `ClusterId`, `PortId`) index flat vectors,
+// so traversals are cache-friendly and sets of entities are representable as
+// `DynBitset`s — which the exploration algorithm relies on heavily.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/dyn_bitset.hpp"
+#include "util/ids.hpp"
+#include "util/status.hpp"
+
+namespace sdf {
+
+struct NodeTag {};
+struct EdgeTag {};
+struct ClusterTag {};
+struct PortTag {};
+
+using NodeId = StrongId<NodeTag>;
+using EdgeId = StrongId<EdgeTag>;
+using ClusterId = StrongId<ClusterTag>;
+using PortId = StrongId<PortTag>;
+
+enum class NodeKind {
+  kVertex,     ///< non-hierarchical vertex (v in V)
+  kInterface,  ///< hierarchical vertex (psi in Psi)
+};
+
+enum class PortDirection { kIn, kOut };
+
+/// A vertex or interface in the hierarchy.
+struct Node {
+  NodeId id;
+  NodeKind kind = NodeKind::kVertex;
+  std::string name;
+  ClusterId parent;                 ///< owning cluster
+  std::vector<ClusterId> clusters;  ///< refinements (interfaces only)
+  std::vector<PortId> ports;        ///< declared ports (interfaces only)
+  std::vector<EdgeId> in_edges;
+  std::vector<EdgeId> out_edges;
+  /// Free-form numeric annotations (cost, latency, period, ...).  Domain
+  /// layers define the key vocabulary; see `spec/attributes.hpp`.
+  std::map<std::string, double, std::less<>> attrs;
+
+  [[nodiscard]] bool is_interface() const {
+    return kind == NodeKind::kInterface;
+  }
+};
+
+/// A dependence edge between two nodes of the same cluster.  When an
+/// endpoint is an interface, `src_port`/`dst_port` may name the port the
+/// edge attaches to (invalid id = "default port", see flatten.hpp).
+struct Edge {
+  EdgeId id;
+  NodeId from;
+  NodeId to;
+  PortId src_port;  ///< port on `from` if `from` is an interface
+  PortId dst_port;  ///< port on `to` if `to` is an interface
+  std::map<std::string, double, std::less<>> attrs;
+};
+
+/// An alternative refinement (subgraph) of an interface; the root cluster
+/// has an invalid `parent`.
+struct Cluster {
+  ClusterId id;
+  std::string name;
+  NodeId parent;  ///< owning interface; invalid for the root cluster
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> edges;
+  std::map<std::string, double, std::less<>> attrs;
+
+  [[nodiscard]] bool is_root() const { return !parent.valid(); }
+};
+
+/// A named connection point of an interface.  Port mappings assign, per
+/// refining cluster, the internal node that realizes the port.
+struct Port {
+  PortId id;
+  NodeId owner;  ///< the interface declaring this port
+  std::string name;
+  PortDirection direction = PortDirection::kIn;
+  /// cluster -> internal node realizing this port in that cluster
+  std::map<ClusterId, NodeId> mapping;
+};
+
+class HierarchicalGraph {
+ public:
+  /// Creates a graph whose top level is the (empty) root cluster.
+  explicit HierarchicalGraph(std::string name = "G");
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] ClusterId root() const { return root_; }
+
+  // ---- construction -------------------------------------------------------
+
+  /// Adds a non-hierarchical vertex to `cluster`.
+  NodeId add_vertex(ClusterId cluster, std::string name);
+  /// Adds an interface (hierarchical vertex) to `cluster`.
+  NodeId add_interface(ClusterId cluster, std::string name);
+  /// Adds an alternative refinement cluster to interface `iface`.
+  ClusterId add_cluster(NodeId iface, std::string name);
+  /// Adds a dependence edge; both endpoints must live in the same cluster.
+  EdgeId add_edge(NodeId from, NodeId to);
+  /// Adds a dependence edge attached to explicit interface ports (either
+  /// port id may be invalid when the corresponding endpoint is a plain
+  /// vertex).
+  EdgeId add_edge(NodeId from, NodeId to, PortId src_port, PortId dst_port);
+  /// Declares a port on interface `iface`.
+  PortId add_port(NodeId iface, std::string name, PortDirection direction);
+  /// Maps `port` to internal node `target` for refinement `cluster`.
+  void map_port(PortId port, ClusterId cluster, NodeId target);
+
+  // ---- attribute helpers --------------------------------------------------
+
+  void set_attr(NodeId node, std::string_view key, double value);
+  void set_attr(ClusterId cluster, std::string_view key, double value);
+  void set_attr(EdgeId edge, std::string_view key, double value);
+  [[nodiscard]] double attr_or(NodeId node, std::string_view key,
+                               double fallback) const;
+  [[nodiscard]] double attr_or(ClusterId cluster, std::string_view key,
+                               double fallback) const;
+  [[nodiscard]] double attr_or(EdgeId edge, std::string_view key,
+                               double fallback) const;
+
+  // ---- access -------------------------------------------------------------
+
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] const Edge& edge(EdgeId id) const;
+  [[nodiscard]] const Cluster& cluster(ClusterId id) const;
+  [[nodiscard]] const Port& port(PortId id) const;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+  [[nodiscard]] std::size_t cluster_count() const { return clusters_.size(); }
+  [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
+
+  /// All nodes / clusters, arena order.
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<Cluster>& clusters() const {
+    return clusters_;
+  }
+
+  /// Looks a node up by name anywhere in the hierarchy; names need not be
+  /// unique — the first (oldest) match wins.  Invalid id when absent.
+  [[nodiscard]] NodeId find_node(std::string_view name) const;
+  /// Same for clusters.
+  [[nodiscard]] ClusterId find_cluster(std::string_view name) const;
+  /// Port of `iface` by name; invalid id when absent.
+  [[nodiscard]] PortId find_port(NodeId iface, std::string_view name) const;
+
+  // ---- hierarchy queries ----------------------------------------------------
+
+  /// The set of leaves V_l (Eq. 1 of the paper): all non-hierarchical
+  /// vertices of `cluster` plus, recursively, the leaves of every refinement
+  /// of every interface in `cluster`.
+  [[nodiscard]] std::vector<NodeId> leaves(ClusterId cluster) const;
+  /// Leaves of the whole graph, i.e. `leaves(root())`.
+  [[nodiscard]] std::vector<NodeId> leaves() const { return leaves(root_); }
+
+  /// Number of hierarchy levels below (and including) `cluster`; a cluster
+  /// without interfaces has depth 1.
+  [[nodiscard]] std::size_t depth(ClusterId cluster) const;
+
+  /// The chain of clusters from the root to `cluster`, inclusive.
+  [[nodiscard]] std::vector<ClusterId> ancestry(ClusterId cluster) const;
+
+  /// True iff `node` is a non-hierarchical vertex (a leaf of the arena).
+  [[nodiscard]] bool is_leaf(NodeId node) const {
+    return !this->node(node).is_interface();
+  }
+
+  /// All interfaces anywhere in the hierarchy, arena order.
+  [[nodiscard]] std::vector<NodeId> all_interfaces() const;
+  /// All non-root clusters anywhere in the hierarchy, arena order.
+  [[nodiscard]] std::vector<ClusterId> all_refinement_clusters() const;
+
+  /// Bitset sized for node ids.
+  [[nodiscard]] DynBitset make_node_set() const {
+    return DynBitset(nodes_.size());
+  }
+  /// Bitset sized for cluster ids.
+  [[nodiscard]] DynBitset make_cluster_set() const {
+    return DynBitset(clusters_.size());
+  }
+
+ private:
+  Node& mutable_node(NodeId id);
+  Cluster& mutable_cluster(ClusterId id);
+
+  std::string name_;
+  ClusterId root_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<Cluster> clusters_;
+  std::vector<Port> ports_;
+};
+
+}  // namespace sdf

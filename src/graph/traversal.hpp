@@ -1,0 +1,41 @@
+// Traversal utilities over hierarchical graphs and flat graphs.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/flatten.hpp"
+#include "graph/hierarchical_graph.hpp"
+
+namespace sdf {
+
+/// Topological order of the nodes of one cluster (interfaces included,
+/// treated as atomic); `nullopt` when the cluster's edges form a cycle.
+[[nodiscard]] std::optional<std::vector<NodeId>> topological_order(
+    const HierarchicalGraph& g, ClusterId cluster);
+
+/// True iff every cluster of the hierarchy is acyclic.  Dependence edges
+/// define a partial order of operations (§2, problem graph), so cycles are
+/// specification errors.
+[[nodiscard]] bool is_acyclic(const HierarchicalGraph& g);
+
+/// Topological order of a flattened graph; `nullopt` on cycles.
+[[nodiscard]] std::optional<std::vector<NodeId>> topological_order(
+    const FlatGraph& flat);
+
+/// Calls `fn` for every cluster reachable from `start` (pre-order, the
+/// cluster itself first).
+void for_each_cluster(const HierarchicalGraph& g, ClusterId start,
+                      const std::function<void(ClusterId)>& fn);
+
+/// Calls `fn` for every cluster of the graph, root first.
+void for_each_cluster(const HierarchicalGraph& g,
+                      const std::function<void(ClusterId)>& fn);
+
+/// Vertices of `flat` with no incoming flat edge.
+[[nodiscard]] std::vector<NodeId> flat_sources(const FlatGraph& flat);
+/// Vertices of `flat` with no outgoing flat edge.
+[[nodiscard]] std::vector<NodeId> flat_sinks(const FlatGraph& flat);
+
+}  // namespace sdf

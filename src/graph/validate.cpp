@@ -1,0 +1,69 @@
+#include "graph/validate.hpp"
+
+#include "graph/traversal.hpp"
+#include "util/strings.hpp"
+
+namespace sdf {
+
+std::vector<ValidationIssue> validate(const HierarchicalGraph& g,
+                                      const ValidateOptions& options) {
+  std::vector<ValidationIssue> issues;
+  auto issue = [&](std::string msg) {
+    issues.push_back(ValidationIssue{std::move(msg)});
+  };
+
+  for (const Node& n : g.nodes()) {
+    if (!n.is_interface()) {
+      if (!n.clusters.empty())
+        issue("vertex '" + n.name + "' has refinement clusters");
+      if (!n.ports.empty()) issue("vertex '" + n.name + "' declares ports");
+      continue;
+    }
+    if (options.require_refinements && n.clusters.empty())
+      issue("interface '" + n.name + "' has no refinement cluster");
+    if (options.require_complete_port_mappings) {
+      for (PortId pid : n.ports) {
+        const Port& p = g.port(pid);
+        for (ClusterId cid : n.clusters) {
+          if (!p.mapping.contains(cid)) {
+            issue(strprintf("port '%s' of interface '%s' unmapped for "
+                            "cluster '%s'",
+                            p.name.c_str(), n.name.c_str(),
+                            g.cluster(cid).name.c_str()));
+          }
+        }
+      }
+    }
+  }
+
+  for (const Edge& e : g.edges()) {
+    if (g.node(e.from).parent != g.node(e.to).parent)
+      issue(strprintf("edge #%u crosses cluster boundaries", e.id.value()));
+    if (e.src_port.valid() && g.port(e.src_port).owner != e.from)
+      issue(strprintf("edge #%u src port owner mismatch", e.id.value()));
+    if (e.dst_port.valid() && g.port(e.dst_port).owner != e.to)
+      issue(strprintf("edge #%u dst port owner mismatch", e.id.value()));
+  }
+
+  if (options.require_acyclic) {
+    for_each_cluster(g, [&](ClusterId cid) {
+      if (!topological_order(g, cid).has_value())
+        issue("cluster '" + g.cluster(cid).name + "' contains a cycle");
+    });
+  }
+
+  return issues;
+}
+
+Status validate_or_error(const HierarchicalGraph& g,
+                         const ValidateOptions& options) {
+  const auto issues = validate(g, options);
+  if (issues.empty()) return Status::Ok();
+  return Error{"invalid hierarchical graph '" + g.name() +
+               "': " + issues.front().message +
+               (issues.size() > 1
+                    ? strprintf(" (+%zu more)", issues.size() - 1)
+                    : "")};
+}
+
+}  // namespace sdf

@@ -1,0 +1,36 @@
+// Structural validation of hierarchical graphs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/hierarchical_graph.hpp"
+
+namespace sdf {
+
+/// Options controlling which structural rules `validate` enforces.
+struct ValidateOptions {
+  /// Every interface must have at least one refinement cluster (an interface
+  /// with no alternatives can never be activated under rule 1).
+  bool require_refinements = true;
+  /// Every cluster of every graph level must be acyclic.
+  bool require_acyclic = true;
+  /// Every (port, refinement) pair must have a port mapping.  Off by
+  /// default: the paper's examples use default-boundary resolution.
+  bool require_complete_port_mappings = false;
+};
+
+/// A single validation finding.
+struct ValidationIssue {
+  std::string message;
+};
+
+/// All structural problems found in `g` (empty = valid).
+[[nodiscard]] std::vector<ValidationIssue> validate(
+    const HierarchicalGraph& g, const ValidateOptions& options = {});
+
+/// Convenience: Status wrapper around `validate` (first issue reported).
+[[nodiscard]] Status validate_or_error(const HierarchicalGraph& g,
+                                       const ValidateOptions& options = {});
+
+}  // namespace sdf

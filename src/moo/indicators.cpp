@@ -1,0 +1,38 @@
+#include "moo/indicators.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace sdf {
+
+double hypervolume(const std::vector<ParetoPoint>& front, double ref_x,
+                   double ref_y) {
+  std::vector<ParetoPoint> f = pareto_front(front);
+  std::erase_if(f, [&](const ParetoPoint& p) {
+    return p.x >= ref_x || p.y >= ref_y;
+  });
+  // f is sorted by ascending x, thus descending y (non-dominated).
+  double volume = 0.0;
+  double prev_y = ref_y;
+  for (const ParetoPoint& p : f) {
+    volume += (ref_x - p.x) * (prev_y - p.y);
+    prev_y = p.y;
+  }
+  return volume;
+}
+
+double additive_epsilon(const std::vector<ParetoPoint>& reference,
+                        const std::vector<ParetoPoint>& candidate) {
+  if (reference.empty()) return 0.0;
+  if (candidate.empty()) return std::numeric_limits<double>::infinity();
+  double eps = 0.0;
+  for (const ParetoPoint& a : reference) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const ParetoPoint& b : candidate)
+      best = std::min(best, std::max(b.x - a.x, b.y - a.y));
+    eps = std::max(eps, best);
+  }
+  return std::max(eps, 0.0);
+}
+
+}  // namespace sdf

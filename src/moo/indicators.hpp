@@ -1,0 +1,27 @@
+// Quality indicators for two-objective fronts.
+//
+// Used by the scaling / baseline benches to compare the exact EXPLORE front
+// against heuristic fronts (evolutionary baseline):
+//  * hypervolume — area dominated by the front w.r.t. a reference point,
+//  * additive epsilon — how far front B must be shifted to cover front A.
+#pragma once
+
+#include <vector>
+
+#include "moo/pareto.hpp"
+
+namespace sdf {
+
+/// 2-D hypervolume of `front` (minimization) against reference point
+/// (ref_x, ref_y).  Points beyond the reference contribute nothing.
+/// `front` need not be sorted or minimal.
+[[nodiscard]] double hypervolume(const std::vector<ParetoPoint>& front,
+                                 double ref_x, double ref_y);
+
+/// Additive epsilon indicator eps(A, B): the smallest e such that every
+/// point of `reference` (A) is weakly dominated by some point of
+/// `candidate` (B) shifted by -e in both objectives.  0 means B covers A.
+[[nodiscard]] double additive_epsilon(const std::vector<ParetoPoint>& reference,
+                                      const std::vector<ParetoPoint>& candidate);
+
+}  // namespace sdf

@@ -1,0 +1,50 @@
+#include "moo/knee.hpp"
+
+#include <cmath>
+
+namespace sdf {
+
+std::vector<double> chord_distances(const std::vector<ParetoPoint>& front) {
+  std::vector<double> out(front.size(), 0.0);
+  if (front.size() < 3) return out;
+
+  // Normalize both objectives to [0,1] so the knee is scale-invariant.
+  double min_x = front.front().x, max_x = front.front().x;
+  double min_y = front.front().y, max_y = front.front().y;
+  for (const ParetoPoint& p : front) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double span_x = max_x - min_x, span_y = max_y - min_y;
+  if (span_x <= 0.0 || span_y <= 0.0) return out;
+
+  auto nx = [&](const ParetoPoint& p) { return (p.x - min_x) / span_x; };
+  auto ny = [&](const ParetoPoint& p) { return (p.y - min_y) / span_y; };
+
+  // Chord between the two extremes of the sorted front.
+  const double ax = nx(front.front()), ay = ny(front.front());
+  const double bx = nx(front.back()), by = ny(front.back());
+  const double dx = bx - ax, dy = by - ay;
+  const double len = std::sqrt(dx * dx + dy * dy);
+  if (len <= 0.0) return out;
+
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    const double px = nx(front[i]) - ax, py = ny(front[i]) - ay;
+    out[i] = std::fabs(px * dy - py * dx) / len;
+  }
+  return out;
+}
+
+std::optional<std::size_t> knee_index(const std::vector<ParetoPoint>& front) {
+  const std::vector<double> dist = chord_distances(front);
+  if (front.size() < 3) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < dist.size(); ++i)
+    if (dist[i] > dist[best]) best = i;
+  if (dist[best] <= 0.0) return std::nullopt;  // collinear front
+  return best;
+}
+
+}  // namespace sdf

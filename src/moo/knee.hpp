@@ -1,0 +1,31 @@
+// Knee-point selection on two-objective fronts.
+//
+// The paper ends exploration with a complete front and leaves the final
+// pick to the designer ("subsequently select and refine one of those
+// solutions").  The classic automated pick is the *knee*: the point with
+// the largest perpendicular distance to the chord between the front's
+// extremes — the best marginal tradeoff between the two objectives.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "moo/pareto.hpp"
+
+namespace sdf {
+
+/// Index (into the given vector) of the knee of `front` (both objectives
+/// minimized; the vector should be a sorted non-dominated set, e.g.
+/// `ParetoArchive::front()` output).  Fronts with fewer than three points
+/// have no interior point: returns nullopt.
+[[nodiscard]] std::optional<std::size_t> knee_index(
+    const std::vector<ParetoPoint>& front);
+
+/// Normalized perpendicular distance of every front point to the
+/// extreme-to-extreme chord (objectives scaled to [0,1] first); the knee
+/// maximizes this.  Empty input yields an empty vector.
+[[nodiscard]] std::vector<double> chord_distances(
+    const std::vector<ParetoPoint>& front);
+
+}  // namespace sdf

@@ -1,0 +1,45 @@
+#include "moo/pareto.hpp"
+
+#include <algorithm>
+
+namespace sdf {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  return a.x <= b.x && a.y <= b.y && (a.x < b.x || a.y < b.y);
+}
+
+bool ParetoArchive::insert(const ParetoPoint& p) {
+  for (const ParetoPoint& q : points_)
+    if (dominates(q, p) || q == p) return false;
+  std::erase_if(points_, [&](const ParetoPoint& q) { return dominates(p, q); });
+  points_.push_back(p);
+  return true;
+}
+
+std::vector<ParetoPoint> ParetoArchive::front() const {
+  std::vector<ParetoPoint> out = points_;
+  std::sort(out.begin(), out.end(), [](const ParetoPoint& a,
+                                       const ParetoPoint& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  return out;
+}
+
+bool ParetoArchive::covered(const ParetoPoint& p) const {
+  return std::any_of(points_.begin(), points_.end(), [&](const ParetoPoint& q) {
+    return dominates(q, p) || q == p;
+  });
+}
+
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
+  ParetoArchive archive;
+  // Insert in x-then-y order so duplicates resolve deterministically.
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.x < b.x || (a.x == b.x && a.y < b.y);
+            });
+  for (const ParetoPoint& p : points) archive.insert(p);
+  return archive.front();
+}
+
+}  // namespace sdf

@@ -1,0 +1,56 @@
+// Two-objective Pareto utilities (§4, Fig. 4).
+//
+// The paper's MOP minimizes cost and 1/flexibility simultaneously.  This
+// module provides the generic machinery: dominance, a front archive that
+// prunes dominated points on insertion (the "boxes" of Fig. 4), and front
+// extraction from arbitrary point sets.  Both objectives are minimized.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sdf {
+
+/// A point in (minimize, minimize) objective space with a caller-supplied
+/// payload index (e.g. into a vector of implementations).
+struct ParetoPoint {
+  double x = 0.0;  ///< first objective (cost)
+  double y = 0.0;  ///< second objective (1/flexibility)
+  std::size_t tag = 0;
+
+  friend bool operator==(const ParetoPoint& a, const ParetoPoint& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// True iff `a` dominates `b`: no worse in both objectives and strictly
+/// better in at least one.
+[[nodiscard]] bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// Archive maintaining the set of mutually non-dominated points seen so
+/// far.  Insertion is O(front size).
+class ParetoArchive {
+ public:
+  /// Attempts to insert `p`.  Returns true iff `p` enters the archive
+  /// (i.e. no archived point dominates it); dominated incumbents are
+  /// removed.  Duplicate objective vectors are kept only once (first wins).
+  bool insert(const ParetoPoint& p);
+
+  /// Non-dominated points sorted by ascending x.
+  [[nodiscard]] std::vector<ParetoPoint> front() const;
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  /// True iff `p` is dominated by (or equal to) an archived point.
+  [[nodiscard]] bool covered(const ParetoPoint& p) const;
+
+ private:
+  std::vector<ParetoPoint> points_;
+};
+
+/// Extracts the non-dominated subset of `points` (ascending x).
+[[nodiscard]] std::vector<ParetoPoint> pareto_front(
+    std::vector<ParetoPoint> points);
+
+}  // namespace sdf

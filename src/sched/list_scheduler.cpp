@@ -1,0 +1,44 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/traversal.hpp"
+
+namespace sdf {
+
+const ScheduledTask* Schedule::find(NodeId process) const {
+  for (const ScheduledTask& t : tasks)
+    if (t.process == process) return &t;
+  return nullptr;
+}
+
+std::optional<Schedule> list_schedule(const SpecificationGraph& spec,
+                                      const FlatGraph& flat,
+                                      const Binding& binding) {
+  const std::optional<std::vector<NodeId>> order = topological_order(flat);
+  if (!order.has_value()) return std::nullopt;
+
+  std::unordered_map<NodeId, std::vector<NodeId>> preds;
+  for (const auto& [from, to] : flat.edges) preds[to].push_back(from);
+
+  std::vector<double> unit_free(spec.alloc_units().size(), 0.0);
+  std::unordered_map<NodeId, double> finish;
+
+  Schedule schedule;
+  for (NodeId v : *order) {
+    const BindingAssignment* a = binding.find(v);
+    if (a == nullptr) return std::nullopt;  // incomplete binding
+    double ready = 0.0;
+    for (NodeId pred : preds[v]) ready = std::max(ready, finish[pred]);
+    const double start = std::max(ready, unit_free[a->unit.index()]);
+    const double end = start + a->latency;
+    unit_free[a->unit.index()] = end;
+    finish[v] = end;
+    schedule.tasks.push_back(ScheduledTask{v, a->unit, start, end});
+    schedule.makespan = std::max(schedule.makespan, end);
+  }
+  return schedule;
+}
+
+}  // namespace sdf

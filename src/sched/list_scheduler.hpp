@@ -1,0 +1,44 @@
+// Static list scheduling of one bound elementary activation (extension).
+//
+// Scheduling is the paper's declared future work; this scheduler provides a
+// concrete witness schedule for a feasible binding: given the flattened
+// dependence DAG and the binding's latencies, it assigns start times on
+// each resource (one process at a time per resource, dependencies
+// respected) and reports the makespan.  Benches use it to compare the
+// utilization *estimate* against an *actual* non-preemptive schedule.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bind/binding.hpp"
+#include "graph/flatten.hpp"
+#include "spec/specification.hpp"
+
+namespace sdf {
+
+/// One scheduled process instance.
+struct ScheduledTask {
+  NodeId process;
+  AllocUnitId unit;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+/// A complete static schedule of one elementary activation.
+struct Schedule {
+  std::vector<ScheduledTask> tasks;
+  double makespan = 0.0;
+
+  [[nodiscard]] const ScheduledTask* find(NodeId process) const;
+};
+
+/// List-schedules `flat` under `binding`: processes become ready when all
+/// predecessors finished; ready processes are started in earliest-ready /
+/// lowest-id order on their bound resource.  Returns nullopt when the flat
+/// graph is cyclic.
+[[nodiscard]] std::optional<Schedule> list_schedule(
+    const SpecificationGraph& spec, const FlatGraph& flat,
+    const Binding& binding);
+
+}  // namespace sdf

@@ -1,0 +1,35 @@
+#include "sched/profile.hpp"
+
+namespace sdf {
+
+void ExecutionProfile::set_calls_per_period(NodeId process, double calls) {
+  SDF_CHECK(calls >= 0.0, "calls per period must be non-negative");
+  calls_[process] = calls;
+}
+
+double ExecutionProfile::calls_per_period(NodeId process) const {
+  const auto it = calls_.find(process);
+  return it == calls_.end() ? 1.0 : it->second;
+}
+
+void ExecutionProfile::apply(SpecificationGraph& spec) const {
+  for (const auto& [process, calls] : calls_)
+    spec.problem().set_attr(process, attr::kTimingWeight, calls);
+}
+
+std::vector<double> profiled_utilizations(const SpecificationGraph& spec,
+                                          const Binding& binding,
+                                          const ExecutionProfile& profile) {
+  std::vector<double> load(spec.alloc_units().size(), 0.0);
+  const HierarchicalGraph& p = spec.problem();
+  for (const BindingAssignment& a : binding.assignments()) {
+    const double period = p.attr_or(a.process, attr::kPeriod, 0.0);
+    if (period <= 0.0) continue;
+    const double calls = profile.calls_per_period(a.process);
+    if (calls <= 0.0) continue;
+    load[a.unit.index()] += calls * a.latency / period;
+  }
+  return load;
+}
+
+}  // namespace sdf

@@ -1,0 +1,47 @@
+// Execution profiles: the paper's "statistical analysis" made explicit.
+//
+// §5 justifies neglecting the authentication and controller processes with
+// run-time statistics: "the execution of the authentication is scheduled
+// once at system start up" and "the controller process makes up about
+// 0.01% of all process calls".  An `ExecutionProfile` captures such
+// knowledge as calls-per-period counts; `apply_profile` converts it into
+// the `timing_weight` attributes the utilization estimate consumes, and
+// `effective_utilization` evaluates a binding directly against a profile.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "bind/binding.hpp"
+#include "spec/specification.hpp"
+
+namespace sdf {
+
+/// Average activations of each process per period of its application.
+/// Processes absent from the profile default to 1 activation per period;
+/// an entry of 0 marks a process as negligible (start-up-only work).
+class ExecutionProfile {
+ public:
+  /// Sets the expected activations per period for `process`.
+  void set_calls_per_period(NodeId process, double calls);
+
+  [[nodiscard]] double calls_per_period(NodeId process) const;
+
+  /// Writes the profile into the specification's `timing_weight`
+  /// attributes (the utilization estimate's native input).
+  void apply(SpecificationGraph& spec) const;
+
+  [[nodiscard]] std::size_t size() const { return calls_.size(); }
+
+ private:
+  std::map<NodeId, double> calls_;
+};
+
+/// Utilization of every unit under `binding`, weighing each
+/// timing-relevant process by the profile instead of the stored
+/// `timing_weight` attributes.
+[[nodiscard]] std::vector<double> profiled_utilizations(
+    const SpecificationGraph& spec, const Binding& binding,
+    const ExecutionProfile& profile);
+
+}  // namespace sdf

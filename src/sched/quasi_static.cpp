@@ -1,0 +1,60 @@
+#include "sched/quasi_static.hpp"
+
+#include <algorithm>
+
+namespace sdf {
+
+bool QuasiStaticSchedule::all_fit() const {
+  return std::all_of(behaviors.begin(), behaviors.end(),
+                     [](const BehaviorSchedule& b) { return b.fits_period(); });
+}
+
+std::optional<QuasiStaticSchedule> quasi_static_schedule(
+    const SpecificationGraph& spec, const Implementation& impl) {
+  if (impl.ecas.empty()) return std::nullopt;
+  const HierarchicalGraph& p = spec.problem();
+
+  QuasiStaticSchedule out;
+  std::vector<NodeId> common;
+  bool first = true;
+
+  for (const FeasibleEca& fe : impl.ecas) {
+    const Result<FlatGraph> flat = flatten(p, fe.eca.selection);
+    if (!flat.ok()) return std::nullopt;
+    const std::optional<Schedule> schedule =
+        list_schedule(spec, flat.value(), fe.binding);
+    if (!schedule.has_value()) return std::nullopt;
+
+    BehaviorSchedule behavior;
+    behavior.clusters = fe.eca.clusters;
+    behavior.schedule = *schedule;
+    for (const BindingAssignment& a : fe.binding.assignments()) {
+      const double period = p.attr_or(a.process, attr::kPeriod, 0.0);
+      const double weight = p.attr_or(a.process, attr::kTimingWeight, 1.0);
+      if (period <= 0.0 || weight <= 0.0) continue;
+      behavior.recurring_time += a.latency;
+      if (behavior.period == 0.0 || period < behavior.period)
+        behavior.period = period;
+    }
+    out.worst_makespan =
+        std::max(out.worst_makespan, behavior.schedule.makespan);
+    out.behaviors.push_back(std::move(behavior));
+
+    // Intersect the active-vertex sets to find the common prelude.
+    if (first) {
+      common = flat.value().vertices;  // ascending by construction
+      first = false;
+    } else {
+      std::vector<NodeId> next;
+      std::set_intersection(common.begin(), common.end(),
+                            flat.value().vertices.begin(),
+                            flat.value().vertices.end(),
+                            std::back_inserter(next));
+      common = std::move(next);
+    }
+  }
+  out.common_prelude = std::move(common);
+  return out;
+}
+
+}  // namespace sdf

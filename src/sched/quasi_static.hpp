@@ -1,0 +1,58 @@
+// Quasi-static scheduling of behavior sets (extension, after ref. [1]).
+//
+// The paper's future work points to Bhattacharya/Bhattacharyya's
+// quasi-static scheduling of reconfigurable dataflow on single-processor
+// architectures.  This module provides that flavor of result for an
+// implementation: one static schedule per feasible elementary activation,
+// compiled together with
+//   * the *common prelude* — processes every behavior executes (e.g. the
+//     controllers), which a quasi-static scheduler emits once up front,
+//   * per-behavior makespans and the worst case across behaviors, and
+//   * a period-feasibility verdict per behavior (makespan vs the tightest
+//     period of its timing-relevant processes) — the non-preemptive
+//     analogue of the paper's utilization filter.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bind/implementation.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace sdf {
+
+/// One behavior's compiled schedule.
+struct BehaviorSchedule {
+  /// Clusters of the elementary activation (ascending id).
+  std::vector<ClusterId> clusters;
+  Schedule schedule;
+  /// Tightest period among the behavior's timing-relevant processes;
+  /// 0 = unconstrained.
+  double period = 0.0;
+  /// Sum of timing-relevant execution times (the part that must recur
+  /// every period; the prelude runs once).
+  double recurring_time = 0.0;
+
+  /// Non-preemptive feasibility: recurring work fits the period.
+  [[nodiscard]] bool fits_period() const {
+    return period <= 0.0 || recurring_time <= period + 1e-9;
+  }
+};
+
+struct QuasiStaticSchedule {
+  /// Processes executed by every behavior (the static prelude), ascending.
+  std::vector<NodeId> common_prelude;
+  std::vector<BehaviorSchedule> behaviors;
+  /// Largest makespan across behaviors.
+  double worst_makespan = 0.0;
+
+  [[nodiscard]] bool all_fit() const;
+};
+
+/// Compiles the quasi-static schedule of `impl` on `spec`.  Every feasible
+/// elementary activation contributes one behavior; returns nullopt when
+/// the implementation has none or a flat graph is cyclic.
+[[nodiscard]] std::optional<QuasiStaticSchedule> quasi_static_schedule(
+    const SpecificationGraph& spec, const Implementation& impl);
+
+}  // namespace sdf

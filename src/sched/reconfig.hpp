@@ -1,0 +1,59 @@
+// Reconfiguration-overhead analysis for timed activations (extension).
+//
+// "Interchanging clusters in the architecture graph modifies the structure
+// of the system.  If this cluster-selection is performed at runtime, the
+// architecture model characterizes reconfigurable hardware." (§2)
+//
+// The paper models the FPGA's configurations as architecture clusters but
+// does not quantify the cost of switching between them.  This module adds
+// that: configurations may carry a `reconfig_time` attribute; given a
+// platform allocation and a timed activation (an `ActivationTimeline` on
+// the problem graph), the analysis resolves a feasible binding per
+// segment, tracks which configuration each reconfigurable device holds,
+// and reports every reconfiguration with its latency.  A switch is
+// feasible when the new configuration loads within its segment.
+#pragma once
+
+#include <vector>
+
+#include "activation/timeline.hpp"
+#include "bind/solver.hpp"
+#include "spec/specification.hpp"
+
+namespace sdf::attr {
+/// Time to load an architecture configuration (cluster) onto its device.
+inline constexpr const char* kReconfigTime = "reconfig_time";
+}  // namespace sdf::attr
+
+namespace sdf {
+
+/// One reconfiguration of one device.
+struct ReconfigEvent {
+  double time = 0.0;   ///< switch instant (segment start)
+  NodeId device;       ///< the architecture interface being reconfigured
+  ClusterId from;      ///< previous configuration (invalid = first load)
+  ClusterId to;        ///< configuration loaded at `time`
+  double latency = 0.0;
+  /// True iff the load completes within the segment starting at `time`
+  /// (always true for the unbounded last segment).
+  bool fits_segment = true;
+};
+
+struct ReconfigReport {
+  std::vector<ReconfigEvent> events;
+  double total_overhead = 0.0;
+  /// Bindings per timeline segment, in segment order.
+  std::vector<Binding> bindings;
+
+  [[nodiscard]] bool all_fit() const;
+  [[nodiscard]] std::size_t switches() const { return events.size(); }
+};
+
+/// Analyzes the reconfiguration behavior of `timeline` on `alloc`.
+/// Fails when some segment's activation has no feasible binding on the
+/// allocation (the timeline is not implementable at all).
+[[nodiscard]] Result<ReconfigReport> analyze_reconfiguration(
+    const SpecificationGraph& spec, const AllocSet& alloc,
+    const ActivationTimeline& timeline, const SolverOptions& solver = {});
+
+}  // namespace sdf

@@ -1,0 +1,56 @@
+#include "sched/rm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdf {
+
+std::optional<double> rm_response_time(const std::vector<RmTask>& tasks,
+                                       std::size_t index) {
+  const RmTask& task = tasks[index];
+  if (task.wcet <= 0.0) return 0.0;
+
+  // Higher-priority tasks: strictly shorter period; ties broken by index
+  // (earlier = higher priority), the usual deterministic convention.
+  std::vector<const RmTask*> higher;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (i == index) continue;
+    if (tasks[i].period < task.period ||
+        (tasks[i].period == task.period && i < index))
+      higher.push_back(&tasks[i]);
+  }
+
+  double r = task.wcet;
+  for (int iter = 0; iter < 1000; ++iter) {
+    double next = task.wcet;
+    for (const RmTask* h : higher)
+      next += std::ceil(r / h->period) * h->wcet;
+    if (next > task.period) return std::nullopt;  // deadline miss
+    if (next == r) return r;                      // fixed point
+    r = next;
+  }
+  return std::nullopt;  // no convergence within iteration budget
+}
+
+bool rm_schedulable(const std::vector<RmTask>& tasks) {
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    if (!rm_response_time(tasks, i).has_value()) return false;
+  return true;
+}
+
+bool rm_schedulable(const SpecificationGraph& spec, const Binding& binding) {
+  const HierarchicalGraph& p = spec.problem();
+  std::vector<std::vector<RmTask>> per_unit(spec.alloc_units().size());
+  for (const BindingAssignment& a : binding.assignments()) {
+    const double period = p.attr_or(a.process, attr::kPeriod, 0.0);
+    const double weight = p.attr_or(a.process, attr::kTimingWeight, 1.0);
+    if (period <= 0.0 || weight <= 0.0) continue;
+    per_unit[a.unit.index()].push_back(RmTask{a.latency * weight, period});
+  }
+  return std::all_of(per_unit.begin(), per_unit.end(),
+                     [](const std::vector<RmTask>& tasks) {
+                       return rm_schedulable(tasks);
+                     });
+}
+
+}  // namespace sdf

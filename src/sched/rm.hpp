@@ -1,0 +1,41 @@
+// Exact rate-monotonic schedulability (extension).
+//
+// The paper uses the 69% utilization bound as a quick, sufficient-but-
+// conservative test and names scheduling as future work.  This module
+// implements the exact test — worst-case response-time analysis for
+// fixed-priority preemptive scheduling with rate-monotonic priorities
+// (Joseph & Pandya recurrence) — so the library can quantify how
+// conservative the paper's filter is (see the timing-filter ablation
+// bench).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bind/binding.hpp"
+#include "spec/specification.hpp"
+
+namespace sdf {
+
+/// One periodic task on a resource.
+struct RmTask {
+  double wcet = 0.0;    ///< worst-case execution time
+  double period = 0.0;  ///< activation period == implicit deadline
+};
+
+/// Worst-case response time of task `index` among `tasks` under RM
+/// priorities (shorter period = higher priority); `nullopt` when the
+/// recurrence diverges past the deadline (unschedulable).
+[[nodiscard]] std::optional<double> rm_response_time(
+    const std::vector<RmTask>& tasks, std::size_t index);
+
+/// True iff every task meets its deadline under RM scheduling.
+[[nodiscard]] bool rm_schedulable(const std::vector<RmTask>& tasks);
+
+/// Extracts the RM task set of one unit from a binding (timing-relevant
+/// processes only) and runs the exact test on every unit.
+/// Returns true iff all units are schedulable.
+[[nodiscard]] bool rm_schedulable(const SpecificationGraph& spec,
+                                  const Binding& binding);
+
+}  // namespace sdf

@@ -1,0 +1,58 @@
+#include "sched/utilization.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace sdf {
+
+double liu_layland_bound(std::size_t n) {
+  if (n == 0) return 1.0;
+  const double nd = static_cast<double>(n);
+  return nd * (std::pow(2.0, 1.0 / nd) - 1.0);
+}
+
+bool UtilizationReport::feasible(double bound) const {
+  return max_utilization <= bound + 1e-9;
+}
+
+UtilizationReport analyze_utilization(const SpecificationGraph& spec,
+                                      const Binding& binding) {
+  UtilizationReport report;
+  report.per_unit.assign(spec.alloc_units().size(), 0.0);
+  report.tasks_per_unit.assign(spec.alloc_units().size(), 0);
+
+  const HierarchicalGraph& p = spec.problem();
+  for (const BindingAssignment& a : binding.assignments()) {
+    const double period = p.attr_or(a.process, attr::kPeriod, 0.0);
+    const double weight = p.attr_or(a.process, attr::kTimingWeight, 1.0);
+    if (period <= 0.0 || weight <= 0.0) continue;
+    report.per_unit[a.unit.index()] += weight * a.latency / period;
+    ++report.tasks_per_unit[a.unit.index()];
+  }
+  for (std::size_t i = 0; i < report.per_unit.size(); ++i) {
+    if (report.per_unit[i] > report.max_utilization) {
+      report.max_utilization = report.per_unit[i];
+      report.bottleneck = AllocUnitId{i};
+    }
+  }
+  return report;
+}
+
+bool utilization_feasible(const SpecificationGraph& spec,
+                          const Binding& binding, double bound) {
+  return analyze_utilization(spec, binding).feasible(bound);
+}
+
+std::string utilization_summary(const SpecificationGraph& spec,
+                                const UtilizationReport& report) {
+  std::vector<std::string> parts;
+  for (std::size_t i = 0; i < report.per_unit.size(); ++i) {
+    if (report.per_unit[i] <= 0.0) continue;
+    parts.push_back(spec.alloc_units()[i].name + ": " +
+                    format_double(report.per_unit[i], 3));
+  }
+  return join(parts, ", ");
+}
+
+}  // namespace sdf

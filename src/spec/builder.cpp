@@ -1,0 +1,82 @@
+#include "spec/builder.hpp"
+
+#include "util/log.hpp"
+
+namespace sdf {
+
+SpecBuilder::SpecBuilder(std::string name) : spec_(std::move(name)) {}
+
+ClusterId SpecBuilder::problem_cluster(ClusterId parent) const {
+  return parent.valid() ? parent : spec_.problem().root();
+}
+
+NodeId SpecBuilder::process(std::string name, ClusterId parent) {
+  return spec_.problem().add_vertex(problem_cluster(parent), std::move(name));
+}
+
+NodeId SpecBuilder::interface(std::string name, ClusterId parent) {
+  return spec_.problem().add_interface(problem_cluster(parent),
+                                       std::move(name));
+}
+
+ClusterId SpecBuilder::alternative(NodeId iface, std::string name) {
+  return spec_.problem().add_cluster(iface, std::move(name));
+}
+
+EdgeId SpecBuilder::depends(NodeId from, NodeId to) {
+  return spec_.problem().add_edge(from, to);
+}
+
+void SpecBuilder::timing(NodeId process, double period, double weight) {
+  spec_.problem().set_attr(process, attr::kPeriod, period);
+  spec_.problem().set_attr(process, attr::kTimingWeight, weight);
+}
+
+void SpecBuilder::negligible(NodeId process) {
+  spec_.problem().set_attr(process, attr::kTimingWeight, 0.0);
+}
+
+NodeId SpecBuilder::resource(std::string name, double cost) {
+  HierarchicalGraph& a = spec_.architecture();
+  const NodeId id = a.add_vertex(a.root(), std::move(name));
+  a.set_attr(id, attr::kCost, cost);
+  return id;
+}
+
+NodeId SpecBuilder::bus(std::string name, double cost,
+                        const std::vector<NodeId>& endpoints) {
+  HierarchicalGraph& a = spec_.architecture();
+  const NodeId id = a.add_vertex(a.root(), std::move(name));
+  a.set_attr(id, attr::kCost, cost);
+  a.set_attr(id, attr::kComm, 1.0);
+  for (NodeId ep : endpoints) a.add_edge(id, ep);
+  return id;
+}
+
+NodeId SpecBuilder::device(std::string name, double cost) {
+  HierarchicalGraph& a = spec_.architecture();
+  const NodeId id = a.add_interface(a.root(), std::move(name));
+  a.set_attr(id, attr::kCost, cost);
+  return id;
+}
+
+NodeId SpecBuilder::configuration(NodeId device, std::string name,
+                                  double cost) {
+  HierarchicalGraph& a = spec_.architecture();
+  const ClusterId cfg = a.add_cluster(device, name);
+  a.set_attr(cfg, attr::kCost, cost);
+  return a.add_vertex(cfg, name + ".res");
+}
+
+void SpecBuilder::map(NodeId process, NodeId resource, double latency) {
+  spec_.add_mapping(process, resource, latency);
+}
+
+SpecificationGraph SpecBuilder::build() {
+  if (Status s = spec_.validate(); !s.ok()) {
+    SDF_CHECK(false, s.error().message.c_str());
+  }
+  return std::move(spec_);
+}
+
+}  // namespace sdf

@@ -1,0 +1,68 @@
+// Fluent construction of specification graphs.
+//
+// `SpecBuilder` wraps the raw `HierarchicalGraph` API with the vocabulary of
+// the paper: processes, interfaces and alternative refinements on the
+// problem side; resources, buses and reconfigurable-device configurations on
+// the architecture side; mapping edges with latencies between them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spec/specification.hpp"
+
+namespace sdf {
+
+class SpecBuilder {
+ public:
+  explicit SpecBuilder(std::string name = "G_S");
+
+  // ---- problem graph -------------------------------------------------------
+
+  /// Adds a process (leaf) to `parent` (default: top level).
+  NodeId process(std::string name, ClusterId parent = ClusterId{});
+  /// Adds an interface (hierarchical vertex) to `parent`.
+  NodeId interface(std::string name, ClusterId parent = ClusterId{});
+  /// Adds an alternative refinement of `iface`.
+  ClusterId alternative(NodeId iface, std::string name);
+  /// Adds a dependence edge between two problem nodes of the same cluster.
+  EdgeId depends(NodeId from, NodeId to);
+  /// Annotates a process with a minimal activation period and its
+  /// utilization weight (attr::kPeriod / attr::kTimingWeight).
+  void timing(NodeId process, double period, double weight = 1.0);
+  /// Marks a process as negligible for the utilization estimate.
+  void negligible(NodeId process);
+
+  // ---- architecture graph --------------------------------------------------
+
+  /// Adds a functional resource (processor, ASIC) with an allocation cost.
+  NodeId resource(std::string name, double cost);
+  /// Adds a communication resource (bus) with a cost, wired to `endpoints`.
+  NodeId bus(std::string name, double cost,
+             const std::vector<NodeId>& endpoints);
+  /// Adds a reconfigurable device (architecture interface), e.g. an FPGA.
+  NodeId device(std::string name, double cost = 0.0);
+  /// Adds a configuration (refinement cluster) of `device` containing a
+  /// single resource leaf of the same name; returns that leaf.  The
+  /// configuration cluster carries the allocation cost.
+  NodeId configuration(NodeId device, std::string name, double cost);
+
+  // ---- mapping -------------------------------------------------------------
+
+  /// Adds a mapping edge process -> resource with a latency.
+  void map(NodeId process, NodeId resource, double latency);
+
+  /// Validates and returns the finished specification.  Aborts the build on
+  /// structural errors (programming mistakes, not data errors).
+  SpecificationGraph build();
+
+  /// Access to the specification under construction.
+  [[nodiscard]] SpecificationGraph& spec() { return spec_; }
+
+ private:
+  [[nodiscard]] ClusterId problem_cluster(ClusterId parent) const;
+
+  SpecificationGraph spec_;
+};
+
+}  // namespace sdf

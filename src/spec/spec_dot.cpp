@@ -1,0 +1,81 @@
+#include "spec/spec_dot.hpp"
+
+#include "util/strings.hpp"
+
+namespace sdf {
+namespace {
+
+void emit_cluster(const HierarchicalGraph& g, ClusterId cid,
+                  const std::string& prefix, const SpecDotOptions& options,
+                  const SpecificationGraph* spec_for_highlight,
+                  std::string& out, int depth) {
+  const Cluster& c = g.cluster(cid);
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  if (!c.is_root()) {
+    out += pad + "subgraph cluster_" + prefix + std::to_string(cid.value()) +
+           " {\n";
+    std::string label = c.name;
+    if (const double cost = g.attr_or(cid, attr::kCost, 0.0); cost > 0.0)
+      label += " ($" + format_double(cost) + ")";
+    out += pad + "  label=\"" + label + "\";\n  " + pad + "style=dashed;\n";
+  }
+  for (NodeId nid : c.nodes) {
+    const Node& n = g.node(nid);
+    std::string label = n.name;
+    if (const double cost = g.attr_or(nid, attr::kCost, 0.0); cost > 0.0)
+      label += "\\n$" + format_double(cost);
+    if (const double period = g.attr_or(nid, attr::kPeriod, 0.0); period > 0.0)
+      label += "\\nT=" + format_double(period);
+    out += pad + "  " + prefix + std::to_string(nid.value()) + " [label=\"" +
+           label + "\"";
+    out += n.is_interface() ? ", shape=diamond" : ", shape=box";
+    if (options.highlight != nullptr && spec_for_highlight != nullptr &&
+        !n.is_interface()) {
+      const AllocUnitId unit = spec_for_highlight->unit_of_resource(nid);
+      if (unit.valid() && options.highlight->test(unit.index()))
+        out += ", style=filled, fillcolor=lightgrey";
+    }
+    out += "];\n";
+    if (n.is_interface())
+      for (ClusterId sub : n.clusters)
+        emit_cluster(g, sub, prefix, options, spec_for_highlight, out,
+                     depth + 1);
+  }
+  for (EdgeId eid : c.edges) {
+    const Edge& e = g.edge(eid);
+    out += pad + "  " + prefix + std::to_string(e.from.value()) + " -> " +
+           prefix + std::to_string(e.to.value()) + ";\n";
+  }
+  if (!c.is_root()) out += pad + "}\n";
+}
+
+}  // namespace
+
+std::string to_dot(const SpecificationGraph& spec,
+                   const SpecDotOptions& options) {
+  std::string out = "digraph G_S {\n  rankdir=LR;\n  compound=true;\n";
+  if (!options.title.empty()) out += "  label=\"" + options.title + "\";\n";
+
+  out += "  subgraph cluster_problem {\n    label=\"problem graph G_P\";\n";
+  emit_cluster(spec.problem(), spec.problem().root(), "p", options, nullptr,
+               out, 2);
+  out += "  }\n";
+
+  out += "  subgraph cluster_architecture {\n"
+         "    label=\"architecture graph G_A\";\n";
+  emit_cluster(spec.architecture(), spec.architecture().root(), "a", options,
+               &spec, out, 2);
+  out += "  }\n";
+
+  for (const MappingEdge& m : spec.mappings()) {
+    out += "  p" + std::to_string(m.process.value()) + " -> a" +
+           std::to_string(m.resource.value()) + " [style=dotted, dir=none";
+    if (options.show_latencies)
+      out += ", label=\"" + format_double(m.latency) + "\", fontsize=9";
+    out += "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace sdf

@@ -1,0 +1,25 @@
+// Combined DOT rendering of a full specification graph (Fig. 2 style):
+// problem graph on the left, architecture graph on the right, dotted
+// mapping edges between their leaves, costs and latencies annotated.
+#pragma once
+
+#include <string>
+
+#include "spec/specification.hpp"
+
+namespace sdf {
+
+struct SpecDotOptions {
+  std::string title;
+  /// Render mapping-edge latencies as edge labels.
+  bool show_latencies = true;
+  /// Highlight the units of this allocation (filled nodes); pass nullptr
+  /// to render the plain specification.
+  const AllocSet* highlight = nullptr;
+};
+
+/// DOT source of the whole specification graph G_S.
+[[nodiscard]] std::string to_dot(const SpecificationGraph& spec,
+                                 const SpecDotOptions& options = {});
+
+}  // namespace sdf

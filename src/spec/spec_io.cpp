@@ -1,0 +1,328 @@
+#include "spec/spec_io.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace sdf {
+namespace {
+
+// ---- writing ----------------------------------------------------------------
+
+Json attrs_to_json(const std::map<std::string, double, std::less<>>& attrs) {
+  JsonObject obj;
+  for (const auto& [k, v] : attrs) obj.emplace_back(k, Json(v));
+  return Json(std::move(obj));
+}
+
+Result<Json> cluster_to_json(const HierarchicalGraph& g, ClusterId cid);
+
+Result<Json> node_to_json(const HierarchicalGraph& g, NodeId nid) {
+  const Node& n = g.node(nid);
+  JsonObject obj;
+  obj.emplace_back("name", Json(n.name));
+  obj.emplace_back("kind",
+                   Json(n.is_interface() ? "interface" : "vertex"));
+  if (!n.attrs.empty()) obj.emplace_back("attrs", attrs_to_json(n.attrs));
+  if (n.is_interface()) {
+    JsonArray clusters;
+    for (ClusterId cid : n.clusters) {
+      Result<Json> c = cluster_to_json(g, cid);
+      if (!c.ok()) return c;
+      clusters.push_back(std::move(c).value());
+    }
+    obj.emplace_back("clusters", Json(std::move(clusters)));
+    if (!n.ports.empty()) {
+      JsonArray ports;
+      for (PortId pid : n.ports) {
+        const Port& p = g.port(pid);
+        JsonObject pj;
+        pj.emplace_back("name", Json(p.name));
+        pj.emplace_back("direction",
+                        Json(p.direction == PortDirection::kIn ? "in" : "out"));
+        JsonObject mapping;
+        for (const auto& [cid, target] : p.mapping)
+          mapping.emplace_back(g.cluster(cid).name,
+                               Json(g.node(target).name));
+        if (!mapping.empty())
+          pj.emplace_back("mapping", Json(std::move(mapping)));
+        ports.push_back(Json(std::move(pj)));
+      }
+      obj.emplace_back("ports", Json(std::move(ports)));
+    }
+  }
+  return Json(std::move(obj));
+}
+
+Result<Json> cluster_to_json(const HierarchicalGraph& g, ClusterId cid) {
+  const Cluster& c = g.cluster(cid);
+  JsonObject obj;
+  obj.emplace_back("name", Json(c.name));
+  if (!c.attrs.empty()) obj.emplace_back("attrs", attrs_to_json(c.attrs));
+  JsonArray nodes;
+  for (NodeId nid : c.nodes) {
+    Result<Json> n = node_to_json(g, nid);
+    if (!n.ok()) return n;
+    nodes.push_back(std::move(n).value());
+  }
+  obj.emplace_back("nodes", Json(std::move(nodes)));
+  JsonArray edges;
+  for (EdgeId eid : c.edges) {
+    const Edge& e = g.edge(eid);
+    JsonObject ej;
+    ej.emplace_back("from", Json(g.node(e.from).name));
+    ej.emplace_back("to", Json(g.node(e.to).name));
+    if (e.src_port.valid())
+      ej.emplace_back("src_port", Json(g.port(e.src_port).name));
+    if (e.dst_port.valid())
+      ej.emplace_back("dst_port", Json(g.port(e.dst_port).name));
+    if (!e.attrs.empty()) ej.emplace_back("attrs", attrs_to_json(e.attrs));
+    edges.push_back(Json(std::move(ej)));
+  }
+  if (!edges.empty()) obj.emplace_back("edges", Json(std::move(edges)));
+  return Json(std::move(obj));
+}
+
+Status check_unique_names(const HierarchicalGraph& g) {
+  std::unordered_set<std::string> node_names, cluster_names;
+  for (const Node& n : g.nodes())
+    if (!node_names.insert(n.name).second)
+      return Error{"duplicate node name '" + n.name + "' in graph '" +
+                   g.name() + "'"};
+  for (const Cluster& c : g.clusters())
+    if (!c.is_root() && !cluster_names.insert(c.name).second)
+      return Error{"duplicate cluster name '" + c.name + "' in graph '" +
+                   g.name() + "'"};
+  return Status::Ok();
+}
+
+Result<Json> graph_to_json(const HierarchicalGraph& g) {
+  if (Status s = check_unique_names(g); !s.ok()) return s.error();
+  Result<Json> root = cluster_to_json(g, g.root());
+  if (!root.ok()) return root;
+  JsonObject obj;
+  obj.emplace_back("name", Json(g.name()));
+  obj.emplace_back("root", std::move(root).value());
+  return Json(std::move(obj));
+}
+
+// ---- reading ----------------------------------------------------------------
+
+struct PendingPortMapping {
+  PortId port;
+  std::string cluster_name;
+  std::string node_name;
+};
+
+class GraphReader {
+ public:
+  explicit GraphReader(HierarchicalGraph& g) : g_(g) {}
+
+  Status read(const Json& doc) {
+    const Json* root = doc.find("root");
+    if (!root || !root->is_object())
+      return Error{"graph is missing its 'root' cluster"};
+    if (Status s = read_cluster_into(*root, g_.root()); !s.ok()) return s;
+    // Resolve deferred port mappings (targets may be declared after ports).
+    for (const PendingPortMapping& pm : pending_) {
+      const ClusterId cid = g_.find_cluster(pm.cluster_name);
+      const NodeId nid = g_.find_node(pm.node_name);
+      if (!cid.valid())
+        return Error{"port mapping references unknown cluster '" +
+                     pm.cluster_name + "'"};
+      if (!nid.valid())
+        return Error{"port mapping references unknown node '" + pm.node_name +
+                     "'"};
+      g_.map_port(pm.port, cid, nid);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status read_attrs(const Json& obj, auto&& apply) {
+    const Json* attrs = obj.find("attrs");
+    if (!attrs) return Status::Ok();
+    if (!attrs->is_object()) return Error{"'attrs' must be an object"};
+    for (const auto& [k, v] : attrs->as_object()) {
+      if (!v.is_number()) return Error{"attribute '" + k + "' is not numeric"};
+      apply(k, v.as_number());
+    }
+    return Status::Ok();
+  }
+
+  Status read_cluster_into(const Json& cj, ClusterId cid) {
+    if (Status s = read_attrs(
+            cj, [&](const std::string& k, double v) { g_.set_attr(cid, k, v); });
+        !s.ok())
+      return s;
+
+    std::unordered_map<std::string, NodeId> local;
+    const Json* nodes = cj.find("nodes");
+    if (nodes) {
+      if (!nodes->is_array()) return Error{"'nodes' must be an array"};
+      for (const Json& nj : nodes->as_array()) {
+        if (!nj.is_object()) return Error{"node entries must be objects"};
+        const std::string name = nj.string_or("name", "");
+        if (name.empty()) return Error{"node without a name"};
+        const std::string kind = nj.string_or("kind", "vertex");
+        NodeId nid;
+        if (kind == "interface") {
+          nid = g_.add_interface(cid, name);
+          if (Status s = read_interface_parts(nj, nid); !s.ok()) return s;
+        } else if (kind == "vertex") {
+          nid = g_.add_vertex(cid, name);
+        } else {
+          return Error{"unknown node kind '" + kind + "'"};
+        }
+        local[name] = nid;
+        if (Status s = read_attrs(nj, [&](const std::string& k, double v) {
+              g_.set_attr(nid, k, v);
+            });
+            !s.ok())
+          return s;
+      }
+    }
+
+    const Json* edges = cj.find("edges");
+    if (edges) {
+      if (!edges->is_array()) return Error{"'edges' must be an array"};
+      for (const Json& ej : edges->as_array()) {
+        const std::string from = ej.string_or("from", "");
+        const std::string to = ej.string_or("to", "");
+        const auto fi = local.find(from);
+        const auto ti = local.find(to);
+        if (fi == local.end() || ti == local.end())
+          return Error{strprintf("edge '%s' -> '%s' references nodes outside "
+                                 "its cluster",
+                                 from.c_str(), to.c_str())};
+        PortId sp, dp;
+        if (const std::string n = ej.string_or("src_port", ""); !n.empty()) {
+          sp = g_.find_port(fi->second, n);
+          if (!sp.valid()) return Error{"unknown src_port '" + n + "'"};
+        }
+        if (const std::string n = ej.string_or("dst_port", ""); !n.empty()) {
+          dp = g_.find_port(ti->second, n);
+          if (!dp.valid()) return Error{"unknown dst_port '" + n + "'"};
+        }
+        const EdgeId eid = g_.add_edge(fi->second, ti->second, sp, dp);
+        if (Status s = read_attrs(ej, [&](const std::string& k, double v) {
+              g_.set_attr(eid, k, v);
+            });
+            !s.ok())
+          return s;
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status read_interface_parts(const Json& nj, NodeId iface) {
+    if (const Json* ports = nj.find("ports")) {
+      if (!ports->is_array()) return Error{"'ports' must be an array"};
+      for (const Json& pj : ports->as_array()) {
+        const std::string pname = pj.string_or("name", "");
+        if (pname.empty()) return Error{"port without a name"};
+        const std::string dir = pj.string_or("direction", "in");
+        const PortId pid = g_.add_port(
+            iface, pname,
+            dir == "out" ? PortDirection::kOut : PortDirection::kIn);
+        if (const Json* mapping = pj.find("mapping")) {
+          if (!mapping->is_object())
+            return Error{"port 'mapping' must be an object"};
+          for (const auto& [cluster_name, target] : mapping->as_object()) {
+            if (!target.is_string())
+              return Error{"port mapping targets must be node names"};
+            pending_.push_back(
+                PendingPortMapping{pid, cluster_name, target.as_string()});
+          }
+        }
+      }
+    }
+    if (const Json* clusters = nj.find("clusters")) {
+      if (!clusters->is_array()) return Error{"'clusters' must be an array"};
+      for (const Json& cj : clusters->as_array()) {
+        const std::string cname = cj.string_or("name", "");
+        if (cname.empty()) return Error{"cluster without a name"};
+        const ClusterId cid = g_.add_cluster(iface, cname);
+        if (Status s = read_cluster_into(cj, cid); !s.ok()) return s;
+      }
+    }
+    return Status::Ok();
+  }
+
+  HierarchicalGraph& g_;
+  std::vector<PendingPortMapping> pending_;
+};
+
+}  // namespace
+
+Result<Json> spec_to_json(const SpecificationGraph& spec) {
+  Result<Json> problem = graph_to_json(spec.problem());
+  if (!problem.ok()) return problem.error().wrap("problem graph");
+  Result<Json> architecture = graph_to_json(spec.architecture());
+  if (!architecture.ok()) return architecture.error().wrap("architecture graph");
+
+  JsonArray mappings;
+  for (const MappingEdge& m : spec.mappings()) {
+    JsonObject mj;
+    mj.emplace_back("process", Json(spec.problem().node(m.process).name));
+    mj.emplace_back("resource",
+                    Json(spec.architecture().node(m.resource).name));
+    mj.emplace_back("latency", Json(m.latency));
+    mappings.push_back(Json(std::move(mj)));
+  }
+
+  JsonObject doc;
+  doc.emplace_back("name", Json(spec.name()));
+  doc.emplace_back("problem", std::move(problem).value());
+  doc.emplace_back("architecture", std::move(architecture).value());
+  doc.emplace_back("mappings", Json(std::move(mappings)));
+  return Json(std::move(doc));
+}
+
+Result<std::string> spec_to_string(const SpecificationGraph& spec) {
+  Result<Json> doc = spec_to_json(spec);
+  if (!doc.ok()) return doc.error();
+  return doc.value().dump(2);
+}
+
+Result<SpecificationGraph> spec_from_json(const Json& doc) {
+  if (!doc.is_object()) return Error{"specification must be a JSON object"};
+  SpecificationGraph spec(doc.string_or("name", "G_S"));
+
+  const Json* problem = doc.find("problem");
+  if (!problem) return Error{"missing 'problem' graph"};
+  if (Status s = GraphReader(spec.problem()).read(*problem); !s.ok())
+    return s.error().wrap("problem graph");
+
+  const Json* architecture = doc.find("architecture");
+  if (!architecture) return Error{"missing 'architecture' graph"};
+  if (Status s = GraphReader(spec.architecture()).read(*architecture); !s.ok())
+    return s.error().wrap("architecture graph");
+
+  if (const Json* mappings = doc.find("mappings")) {
+    if (!mappings->is_array()) return Error{"'mappings' must be an array"};
+    for (const Json& mj : mappings->as_array()) {
+      const std::string pname = mj.string_or("process", "");
+      const std::string rname = mj.string_or("resource", "");
+      const NodeId p = spec.problem().find_node(pname);
+      const NodeId r = spec.architecture().find_node(rname);
+      if (!p.valid())
+        return Error{"mapping references unknown process '" + pname + "'"};
+      if (!r.valid())
+        return Error{"mapping references unknown resource '" + rname + "'"};
+      spec.add_mapping(p, r, mj.number_or("latency", 0.0));
+    }
+  }
+
+  if (Status s = spec.validate(); !s.ok()) return s.error();
+  return spec;
+}
+
+Result<SpecificationGraph> spec_from_string(std::string_view text) {
+  Result<Json> doc = Json::parse(text);
+  if (!doc.ok()) return doc.error();
+  return spec_from_json(doc.value());
+}
+
+}  // namespace sdf

@@ -1,0 +1,40 @@
+// JSON (de)serialization of specification graphs.
+//
+// The schema mirrors the model one-to-one: a graph is its root cluster;
+// a cluster holds nodes and edges; an interface node holds its alternative
+// clusters and ports.  All cross-references (edges, port mappings, mapping
+// edges) are by name, so node/cluster names must be unique within their
+// graph for a specification to round-trip.
+//
+// Example:
+//   {
+//     "name": "tv_decoder",
+//     "problem": { "root": { "nodes": [...], "edges": [...] } },
+//     "architecture": { ... },
+//     "mappings": [ {"process": "Pu1", "resource": "uP", "latency": 40} ]
+//   }
+#pragma once
+
+#include <string>
+
+#include "spec/specification.hpp"
+#include "util/json.hpp"
+
+namespace sdf {
+
+/// Serializes `spec` to a JSON document.  Fails when names are not unique
+/// within a graph (the format references entities by name).
+[[nodiscard]] Result<Json> spec_to_json(const SpecificationGraph& spec);
+
+/// Convenience: pretty-printed JSON text.
+[[nodiscard]] Result<std::string> spec_to_string(
+    const SpecificationGraph& spec);
+
+/// Parses a specification from a JSON document.
+[[nodiscard]] Result<SpecificationGraph> spec_from_json(const Json& doc);
+
+/// Parses a specification from JSON text.
+[[nodiscard]] Result<SpecificationGraph> spec_from_string(
+    std::string_view text);
+
+}  // namespace sdf

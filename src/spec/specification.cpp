@@ -1,0 +1,196 @@
+#include "spec/specification.hpp"
+
+#include <algorithm>
+
+#include "graph/validate.hpp"
+#include "util/strings.hpp"
+
+namespace sdf {
+
+void SpecificationGraph::add_mapping(NodeId process, NodeId resource,
+                                     double latency) {
+  SDF_CHECK(!problem_.node(process).is_interface(),
+            "mapping edges start at problem-graph leaves");
+  SDF_CHECK(!architecture_.node(resource).is_interface(),
+            "mapping edges end at architecture-graph leaves");
+  mappings_.push_back(MappingEdge{process, resource, latency});
+}
+
+std::vector<MappingEdge> SpecificationGraph::mappings_of(
+    NodeId process) const {
+  std::vector<MappingEdge> out;
+  for (const MappingEdge& m : mappings_)
+    if (m.process == process) out.push_back(m);
+  return out;
+}
+
+NodeId SpecificationGraph::top_node_of(NodeId arch_node) const {
+  // Walk up: node -> owning cluster -> owning interface -> ... until the
+  // owning cluster is the root.
+  NodeId cur = arch_node;
+  while (true) {
+    const Cluster& c = architecture_.cluster(architecture_.node(cur).parent);
+    if (c.is_root()) return cur;
+    cur = c.parent;
+  }
+}
+
+void SpecificationGraph::build_units() const {
+  units_.clear();
+  resource_to_unit_.assign(architecture_.node_count(), AllocUnitId{});
+
+  auto push_unit = [&](AllocUnit u) {
+    u.id = AllocUnitId{units_.size()};
+    units_.push_back(std::move(u));
+    return units_.back().id;
+  };
+
+  // Top-level vertices first, arena order.
+  for (NodeId nid : architecture_.cluster(architecture_.root()).nodes) {
+    const Node& n = architecture_.node(nid);
+    if (n.is_interface()) continue;
+    AllocUnit u;
+    u.name = n.name;
+    u.vertex = nid;
+    u.cost = architecture_.attr_or(nid, attr::kCost, 0.0);
+    u.is_comm = architecture_.attr_or(nid, attr::kComm, 0.0) != 0.0;
+    u.top = nid;
+    const AllocUnitId id = push_unit(std::move(u));
+    resource_to_unit_[nid.index()] = id;
+  }
+
+  // Refinement clusters, arena order; every leaf in a cluster's subtree
+  // resolves to that cluster's unit (innermost clusters are created later in
+  // the arena, so later assignments below would overwrite — we therefore map
+  // leaves to their *outermost* refinement cluster, matching the paper's
+  // "whole clusters" granularity).
+  for (const Cluster& c : architecture_.clusters()) {
+    if (c.is_root()) continue;
+    // Only clusters whose parent interface sits at the top level (outermost
+    // refinements) become units.
+    const Node& owner = architecture_.node(c.parent);
+    if (!architecture_.cluster(owner.parent).is_root()) continue;
+    AllocUnit u;
+    u.name = c.name;
+    u.cluster = c.id;
+    u.cost = architecture_.attr_or(c.id, attr::kCost, 0.0);
+    u.is_comm = false;
+    u.top = c.parent;
+    const AllocUnitId id = push_unit(std::move(u));
+    for (NodeId leaf : architecture_.leaves(c.id))
+      resource_to_unit_[leaf.index()] = id;
+  }
+
+  units_built_clusters_ = architecture_.cluster_count();
+  units_dirty_ = false;
+}
+
+const std::vector<AllocUnit>& SpecificationGraph::alloc_units() const {
+  if (units_dirty_ ||
+      resource_to_unit_.size() != architecture_.node_count() ||
+      units_built_clusters_ != architecture_.cluster_count())
+    build_units();
+  return units_;
+}
+
+void SpecificationGraph::invalidate_units() const { units_dirty_ = true; }
+
+AllocUnitId SpecificationGraph::find_unit(std::string_view name) const {
+  for (const AllocUnit& u : alloc_units())
+    if (u.name == name) return u.id;
+  return AllocUnitId{};
+}
+
+AllocUnitId SpecificationGraph::unit_of_resource(NodeId resource) const {
+  alloc_units();
+  SDF_CHECK(resource.valid() && resource.index() < resource_to_unit_.size(),
+            "bad architecture node id");
+  return resource_to_unit_[resource.index()];
+}
+
+double SpecificationGraph::allocation_cost(const AllocSet& alloc) const {
+  const auto& units = alloc_units();
+  double cost = 0.0;
+  DynBitset charged_ifaces(architecture_.node_count());
+  alloc.for_each([&](std::size_t i) {
+    const AllocUnit& u = units[i];
+    cost += u.cost;
+    if (u.is_cluster_unit() && !charged_ifaces.test(u.top.index())) {
+      charged_ifaces.set(u.top.index());
+      cost += architecture_.attr_or(u.top, attr::kCost, 0.0);
+    }
+  });
+  return cost;
+}
+
+std::string SpecificationGraph::allocation_names(const AllocSet& alloc) const {
+  const auto& units = alloc_units();
+  std::vector<std::string> names;
+  alloc.for_each([&](std::size_t i) { names.push_back(units[i].name); });
+  return join(names, ", ");
+}
+
+bool SpecificationGraph::comm_reachable(const AllocSet& alloc, AllocUnitId a,
+                                        AllocUnitId b) const {
+  const auto& units = alloc_units();
+  const NodeId top_a = units[a.index()].top;
+  const NodeId top_b = units[b.index()].top;
+  if (top_a == top_b) return true;
+
+  // Direct architecture edge between the two tops (either direction)?
+  auto direct = [&](NodeId x, NodeId y) {
+    for (EdgeId eid : architecture_.node(x).out_edges)
+      if (architecture_.edge(eid).to == y) return true;
+    for (EdgeId eid : architecture_.node(x).in_edges)
+      if (architecture_.edge(eid).from == y) return true;
+    return false;
+  };
+  if (direct(top_a, top_b)) return true;
+
+  // Allocated communication unit adjacent to both tops?
+  bool found = false;
+  alloc.for_each([&](std::size_t i) {
+    if (found) return;
+    const AllocUnit& c = units[i];
+    if (!c.is_comm) return;
+    if (direct(c.top, top_a) && direct(c.top, top_b)) found = true;
+  });
+  return found;
+}
+
+std::vector<AllocUnitId> SpecificationGraph::reachable_units(
+    NodeId process) const {
+  std::vector<AllocUnitId> out;
+  for (const MappingEdge& m : mappings_) {
+    if (m.process != process) continue;
+    const AllocUnitId u = unit_of_resource(m.resource);
+    if (u.valid() && std::find(out.begin(), out.end(), u) == out.end())
+      out.push_back(u);
+  }
+  return out;
+}
+
+Status SpecificationGraph::validate() const {
+  if (Status s = validate_or_error(problem_); !s.ok())
+    return s.error().wrap("problem graph");
+  if (Status s = validate_or_error(architecture_); !s.ok())
+    return s.error().wrap("architecture graph");
+
+  // Mapping edges must link problem leaves to architecture leaves.
+  const std::vector<NodeId> p_leaves = problem_.leaves();
+  const std::vector<NodeId> a_leaves = architecture_.leaves();
+  for (const MappingEdge& m : mappings_) {
+    if (!std::binary_search(p_leaves.begin(), p_leaves.end(), m.process))
+      return Error{"mapping edge from non-leaf problem node '" +
+                   problem_.node(m.process).name + "'"};
+    if (!std::binary_search(a_leaves.begin(), a_leaves.end(), m.resource))
+      return Error{"mapping edge to non-leaf architecture node '" +
+                   architecture_.node(m.resource).name + "'"};
+    if (m.latency < 0)
+      return Error{"negative latency on mapping edge from '" +
+                   problem_.node(m.process).name + "'"};
+  }
+  return Status::Ok();
+}
+
+}  // namespace sdf

@@ -1,0 +1,153 @@
+// Hierarchical specification graphs  G_S = (G_P, G_A, E_M)  (§2).
+//
+// A specification graph couples a hierarchical *problem graph* (behavior), a
+// hierarchical *architecture graph* (allocatable resources), and
+// user-defined *mapping edges* ("can be implemented by") that link leaves of
+// the problem graph to leaves of the architecture graph, annotated with
+// execution latencies.
+//
+// On the architecture side, the paper's exploration reasons about
+// *allocatable units*: "only leaves v of the top-level architecture graph or
+// whole clusters of the architecture graph are considered" (§4).
+// `SpecificationGraph::alloc_units()` materializes that view — one unit per
+// top-level architecture vertex and one per refinement cluster (e.g. one per
+// FPGA configuration) — and `AllocSet` represents allocations as bitsets
+// over the unit universe.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/hierarchical_graph.hpp"
+#include "spec/attributes.hpp"
+#include "util/dyn_bitset.hpp"
+
+namespace sdf {
+
+/// A mapping edge e in E_M with its latency annotation.
+struct MappingEdge {
+  NodeId process;   ///< leaf of the problem graph
+  NodeId resource;  ///< leaf of the architecture graph
+  double latency = 0.0;
+};
+
+struct AllocUnitTag {};
+/// Dense index into `SpecificationGraph::alloc_units()`.
+using AllocUnitId = StrongId<AllocUnitTag>;
+
+/// One allocatable item of the architecture: either a top-level vertex
+/// (processor, ASIC, bus) or a refinement cluster (one reconfigurable-device
+/// configuration).
+struct AllocUnit {
+  AllocUnitId id;
+  std::string name;
+  /// Valid for vertex units; invalid for cluster units.
+  NodeId vertex;
+  /// Valid for cluster units; invalid for vertex units.
+  ClusterId cluster;
+  /// Allocation cost of this unit.
+  double cost = 0.0;
+  /// True iff this is a pure communication resource (attr::kComm).
+  bool is_comm = false;
+  /// The top-level architecture node this unit belongs to: the vertex
+  /// itself, or the outermost enclosing interface for cluster units.  Two
+  /// units with the same top node are alternative configurations of one
+  /// physical device.
+  NodeId top;
+
+  [[nodiscard]] bool is_cluster_unit() const { return cluster.valid(); }
+};
+
+/// A set of allocated units (the architecture half of a timed allocation,
+/// Def. 2, projected onto units).
+using AllocSet = DynBitset;
+
+class SpecificationGraph {
+ public:
+  SpecificationGraph()
+      : problem_("G_P"), architecture_("G_A") {}
+  SpecificationGraph(std::string name)
+      : name_(std::move(name)), problem_("G_P"), architecture_("G_A") {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] HierarchicalGraph& problem() { return problem_; }
+  [[nodiscard]] const HierarchicalGraph& problem() const { return problem_; }
+  [[nodiscard]] HierarchicalGraph& architecture() { return architecture_; }
+  [[nodiscard]] const HierarchicalGraph& architecture() const {
+    return architecture_;
+  }
+
+  /// Adds a mapping edge; `process` must be a problem-graph leaf and
+  /// `resource` an architecture-graph leaf.
+  void add_mapping(NodeId process, NodeId resource, double latency);
+
+  [[nodiscard]] const std::vector<MappingEdge>& mappings() const {
+    return mappings_;
+  }
+
+  /// All mapping edges leaving `process`.
+  [[nodiscard]] std::vector<MappingEdge> mappings_of(NodeId process) const;
+
+  // ---- allocatable units ----------------------------------------------------
+
+  /// The allocatable-unit universe; stable order (top-level vertices in node
+  /// order, then refinement clusters in cluster order).  Built lazily and
+  /// cached; adding architecture nodes invalidates the cache.
+  [[nodiscard]] const std::vector<AllocUnit>& alloc_units() const;
+
+  /// Unit by name; invalid id when absent.
+  [[nodiscard]] AllocUnitId find_unit(std::string_view name) const;
+
+  /// The unit owning architecture leaf `resource`: the leaf's top-level
+  /// vertex unit, or the refinement-cluster unit whose subtree contains it.
+  [[nodiscard]] AllocUnitId unit_of_resource(NodeId resource) const;
+
+  /// Empty allocation over the unit universe.
+  [[nodiscard]] AllocSet make_alloc_set() const {
+    return AllocSet(alloc_units().size());
+  }
+
+  /// Allocation cost: sum of unit costs plus, once per architecture
+  /// interface with at least one allocated descendant cluster, that
+  /// interface's own cost (the price of the reconfigurable device itself).
+  [[nodiscard]] double allocation_cost(const AllocSet& alloc) const;
+
+  /// Human-readable unit list, e.g. "uP2, G1, U2, C1".
+  [[nodiscard]] std::string allocation_names(const AllocSet& alloc) const;
+
+  /// True iff an allocated communication path exists between the top-level
+  /// architecture nodes of units `a` and `b` under `alloc`:
+  ///  - `a` and `b` share the same top node (same device), or
+  ///  - a direct architecture edge connects the two tops, or
+  ///  - an allocated communication unit is adjacent (by architecture edges,
+  ///    treated as bidirectional) to both tops.
+  [[nodiscard]] bool comm_reachable(const AllocSet& alloc, AllocUnitId a,
+                                    AllocUnitId b) const;
+
+  /// Units whose `resource` mapping targets make them candidates for
+  /// `process` ("reachable resources" R_ij of §4).
+  [[nodiscard]] std::vector<AllocUnitId> reachable_units(NodeId process) const;
+
+  /// Structural sanity of the whole specification (problem and architecture
+  /// graphs valid, mapping edges link leaves of the right graphs).
+  [[nodiscard]] Status validate() const;
+
+ private:
+  void invalidate_units() const;
+  void build_units() const;
+  [[nodiscard]] NodeId top_node_of(NodeId arch_node) const;
+
+  std::string name_ = "G_S";
+  HierarchicalGraph problem_;
+  HierarchicalGraph architecture_;
+  std::vector<MappingEdge> mappings_;
+
+  // Lazily built unit universe (mutable cache).
+  mutable std::vector<AllocUnit> units_;
+  mutable std::vector<AllocUnitId> resource_to_unit_;  // by arch NodeId
+  mutable std::size_t units_built_clusters_ = 0;
+  mutable bool units_dirty_ = true;
+};
+
+}  // namespace sdf

@@ -1,0 +1,91 @@
+// Dynamic bitset tuned for allocation/activation sets.
+//
+// Resource allocations (Def. 2 of the paper) and cluster-activation sets are
+// subsets of a small, dense universe (all architecture resources, all
+// clusters).  `DynBitset` stores such subsets in packed 64-bit words and
+// provides the set algebra the exploration algorithm needs: union,
+// intersection, subset tests, population count, and iteration over members.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdf {
+
+class DynBitset {
+ public:
+  DynBitset() = default;
+  /// Creates a bitset over a universe of `size` elements, all unset.
+  explicit DynBitset(std::size_t size);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const;
+  /// True iff no bit is set.
+  [[nodiscard]] bool none() const;
+  /// True iff at least one bit is set.
+  [[nodiscard]] bool any() const { return !none(); }
+
+  [[nodiscard]] bool test(std::size_t pos) const;
+  void set(std::size_t pos, bool value = true);
+  void reset(std::size_t pos) { set(pos, false); }
+  void clear();
+
+  /// Grows the universe to `size` elements (new bits unset).  Shrinking is
+  /// not supported.
+  void resize(std::size_t size);
+
+  DynBitset& operator|=(const DynBitset& other);
+  DynBitset& operator&=(const DynBitset& other);
+  DynBitset& operator-=(const DynBitset& other);  ///< set difference
+
+  friend DynBitset operator|(DynBitset a, const DynBitset& b) { return a |= b; }
+  friend DynBitset operator&(DynBitset a, const DynBitset& b) { return a &= b; }
+  friend DynBitset operator-(DynBitset a, const DynBitset& b) { return a -= b; }
+
+  bool operator==(const DynBitset& other) const;
+
+  /// True iff every bit set in *this is also set in `other`.
+  [[nodiscard]] bool is_subset_of(const DynBitset& other) const;
+  /// True iff *this and `other` share at least one set bit.
+  [[nodiscard]] bool intersects(const DynBitset& other) const;
+
+  /// Index of the first set bit at or after `from`, or `npos` if none.
+  [[nodiscard]] std::size_t find_first(std::size_t from = 0) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Indices of all set bits, ascending.
+  [[nodiscard]] std::vector<std::size_t> members() const;
+
+  /// Calls `fn(pos)` for every set bit, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t p = find_first(); p != npos; p = find_first(p + 1)) fn(p);
+  }
+
+  /// "{0,3,7}"-style rendering, for logs and test failure messages.
+  [[nodiscard]] std::string to_string() const;
+
+  /// FNV-style hash over the words, for use in unordered containers.
+  [[nodiscard]] std::size_t hash() const;
+
+ private:
+  [[nodiscard]] std::size_t word_count() const { return words_.size(); }
+  void check_compatible(const DynBitset& other) const;
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sdf
+
+namespace std {
+template <>
+struct hash<sdf::DynBitset> {
+  size_t operator()(const sdf::DynBitset& b) const noexcept { return b.hash(); }
+};
+}  // namespace std

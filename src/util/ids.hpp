@@ -1,0 +1,62 @@
+// Strong integer identifiers.
+//
+// The hierarchical-graph arena addresses every entity (vertex, interface,
+// cluster, edge, port, resource, mapping edge, ...) by a dense index.  Raw
+// `std::size_t` indices are easy to mix up across entity kinds; `StrongId`
+// makes each kind its own type while keeping the zero-cost dense-index
+// representation.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace sdf {
+
+/// A typed wrapper around a dense index.  `Tag` is a phantom type that
+/// distinguishes id families (e.g. `NodeId` vs. `ClusterId`); ids of
+/// different families do not convert into each other.
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::uint32_t;
+
+  /// Sentinel for "no entity".  Default-constructed ids are invalid.
+  static constexpr value_type kInvalid = std::numeric_limits<value_type>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+  constexpr explicit StrongId(std::size_t v)
+      : value_(static_cast<value_type>(v)) {}
+
+  /// Dense index value; only meaningful when `valid()`.
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  /// Convenience for indexing into std containers.
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+ private:
+  value_type value_ = kInvalid;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, StrongId<Tag> id) {
+  if (!id.valid()) return os << "#invalid";
+  return os << '#' << id.value();
+}
+
+}  // namespace sdf
+
+namespace std {
+template <typename Tag>
+struct hash<sdf::StrongId<Tag>> {
+  size_t operator()(const sdf::StrongId<Tag>& id) const noexcept {
+    return std::hash<typename sdf::StrongId<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

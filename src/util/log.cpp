@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace sdf {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, const std::string& message) {
+  if (level < g_level || g_level == LogLevel::kOff) return;
+  std::fprintf(stderr, "[sdf %s] %s\n", level_name(level), message.c_str());
+}
+
+void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+}  // namespace sdf

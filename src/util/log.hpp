@@ -1,0 +1,25 @@
+// Minimal leveled logger.
+//
+// The exploration algorithm can log its pruning decisions at `kDebug`; the
+// default level is `kWarn` so library users see nothing unless they opt in.
+#pragma once
+
+#include <string>
+
+namespace sdf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits `message` to stderr if `level` passes the threshold.
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace sdf

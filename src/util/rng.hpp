@@ -1,0 +1,58 @@
+// Deterministic pseudo-random numbers for generators and baselines.
+//
+// All stochastic components of the library (the synthetic specification
+// generator, the evolutionary baseline explorer) draw from this seeded
+// xoshiro256** generator so that every experiment is reproducible from its
+// seed alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sdf {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound), bound > 0.  Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi);
+
+  /// Bernoulli trial with probability `p`.
+  bool chance(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index of a non-empty container.
+  template <typename T>
+  std::size_t pick_index(const std::vector<T>& v) {
+    return static_cast<std::size_t>(uniform(v.size()));
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sdf

@@ -1,0 +1,100 @@
+// Lightweight error propagation.
+//
+// The library avoids exceptions on expected failure paths (malformed model
+// files, infeasible specifications); `Result<T>` carries either a value or a
+// human-readable error message.  Programming errors (violated preconditions)
+// still use assertions / `SDF_CHECK`.
+#pragma once
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sdf {
+
+/// Error payload: a message plus optional context chain.
+struct Error {
+  std::string message;
+
+  /// Returns a new error with `context` prepended ("context: message").
+  [[nodiscard]] Error wrap(const std::string& context) const {
+    return Error{context + ": " + message};
+  }
+};
+
+/// Either a `T` or an `Error`.  Modeled loosely on `std::expected` (C++23),
+/// restricted to what the library needs.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Value access; precondition: `ok()`.
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  /// Error access; precondition: `!ok()`.
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  /// Value or `fallback` when this result holds an error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialization for operations with no payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Status Ok() { return Status{}; }
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Hard invariant check that survives NDEBUG builds.  Use for conditions
+/// whose violation would make later results silently wrong.
+#define SDF_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "SDF_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, msg);                                        \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+}  // namespace sdf

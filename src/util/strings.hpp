@@ -1,0 +1,30 @@
+// Small string helpers shared across the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdf {
+
+/// Splits `s` at every occurrence of `sep` (empty fields preserved).
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Strips leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// True iff `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Formats a double without trailing zero noise ("1.5", "2", "0.125").
+[[nodiscard]] std::string format_double(double v, int max_decimals = 6);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace sdf

@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace sdf {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  SDF_CHECK(!header_.empty(), "Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  SDF_CHECK(row.size() == header_.size(), "Table row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line.append(width[c] - row[c].size() + 1, ' ');
+      line += '|';
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string sep = "+";
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    sep.append(width[c] + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out = sep + render_row(header_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto field = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string quoted = "\"";
+    for (char c : s) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  auto line = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += field(row[c]);
+    }
+    out += '\n';
+    return out;
+  };
+  std::string out = line(header_);
+  for (const auto& row : rows_) out += line(row);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_ascii();
+}
+
+}  // namespace sdf

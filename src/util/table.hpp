@@ -1,0 +1,38 @@
+// ASCII table / CSV rendering for benchmark and example output.
+//
+// Every bench binary prints the rows of the paper table / figure series it
+// regenerates; `Table` keeps that output aligned and consistent.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sdf {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+
+  /// Renders with aligned columns, a header separator line, and `| |`
+  /// borders.
+  [[nodiscard]] std::string to_ascii() const;
+
+  /// Renders as RFC-4180-ish CSV (fields containing separators quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Convenience: writes `to_ascii()` to `os`.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sdf

@@ -1,0 +1,266 @@
+// Tests for the flag parser and the `sdf` command-line tool.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.hpp"
+#include "spec/paper_models.hpp"
+#include "spec/spec_io.hpp"
+#include "util/flags.hpp"
+#include "util/json.hpp"
+
+namespace sdf {
+namespace {
+
+// ---- Flags -------------------------------------------------------------------
+
+TEST(Flags, DefaultsApply) {
+  Flags f;
+  f.define("name", "fallback");
+  f.define_bool("verbose", false);
+  ASSERT_TRUE(f.parse({}).ok());
+  EXPECT_EQ(f.get("name"), "fallback");
+  EXPECT_FALSE(f.get_bool("verbose"));
+}
+
+TEST(Flags, EqualsAndSpaceSyntax) {
+  Flags f;
+  f.define("a", "");
+  f.define("b", "");
+  ASSERT_TRUE(f.parse({"--a=1", "--b", "2"}).ok());
+  EXPECT_EQ(f.get("a"), "1");
+  EXPECT_EQ(f.get("b"), "2");
+}
+
+TEST(Flags, BooleanForms) {
+  Flags f;
+  f.define_bool("x", false);
+  f.define_bool("y", true);
+  ASSERT_TRUE(f.parse({"--x", "--no-y"}).ok());
+  EXPECT_TRUE(f.get_bool("x"));
+  EXPECT_FALSE(f.get_bool("y"));
+  ASSERT_TRUE(f.parse({"--x=false"}).ok());
+  EXPECT_FALSE(f.get_bool("x"));
+}
+
+TEST(Flags, PositionalCollected) {
+  Flags f;
+  f.define("k", "");
+  ASSERT_TRUE(f.parse({"first", "--k=v", "second"}).ok());
+  EXPECT_EQ(f.positional(), (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(Flags, UnknownFlagRejected) {
+  Flags f;
+  EXPECT_FALSE(f.parse({"--nope"}).ok());
+}
+
+TEST(Flags, MissingValueRejected) {
+  Flags f;
+  f.define("k", "");
+  EXPECT_FALSE(f.parse({"--k"}).ok());
+}
+
+TEST(Flags, NumericAccessors) {
+  Flags f;
+  f.define("d", "0.5");
+  f.define("i", "42");
+  ASSERT_TRUE(f.parse({}).ok());
+  EXPECT_EQ(f.get_double("d"), 0.5);
+  EXPECT_EQ(f.get_int("i"), 42);
+}
+
+// ---- CLI ---------------------------------------------------------------------
+
+class CliTest : public ::testing::Test {
+ protected:
+  int run(std::initializer_list<std::string> args) {
+    out_.str("");
+    err_.str("");
+    return run_cli(std::vector<std::string>(args), out_, err_);
+  }
+
+  /// Writes the settop model to a temp file once per suite.
+  static const std::string& settop_path() {
+    static const std::string path = [] {
+      const std::string p = "/tmp/sdf_cli_test_settop.json";
+      std::ofstream f(p);
+      f << spec_to_string(models::make_settop_spec()).value();
+      return p;
+    }();
+    return path;
+  }
+
+  std::ostringstream out_, err_;
+};
+
+TEST_F(CliTest, NoArgsPrintsUsage) {
+  EXPECT_EQ(run({}), 2);
+  EXPECT_NE(err_.str().find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  EXPECT_EQ(run({"frobnicate"}), 2);
+}
+
+TEST_F(CliTest, ValidateAcceptsSettop) {
+  EXPECT_EQ(run({"validate", settop_path()}), 0);
+  EXPECT_NE(out_.str().find("valid: settop_box"), std::string::npos);
+  EXPECT_NE(out_.str().find("15 processes"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateRejectsGarbage) {
+  const std::string path = "/tmp/sdf_cli_test_garbage.json";
+  std::ofstream(path) << "{ not json";
+  EXPECT_EQ(run({"validate", path}), 1);
+  EXPECT_EQ(run({"validate", "/tmp/definitely_missing_file.json"}), 1);
+  EXPECT_EQ(run({"validate"}), 2);
+}
+
+TEST_F(CliTest, FlexibilityReportsMaximum) {
+  EXPECT_EQ(run({"flexibility", settop_path()}), 0);
+  EXPECT_NE(out_.str().find("maximal flexibility: 8"), std::string::npos);
+  EXPECT_NE(out_.str().find("gG"), std::string::npos);
+}
+
+TEST_F(CliTest, ExploreReproducesFront) {
+  EXPECT_EQ(run({"explore", settop_path()}), 0);
+  const std::string text = out_.str();
+  for (const char* needle :
+       {"100", "120", "230", "290", "360", "430", "uP2, A1, C1, C2, D3"})
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  EXPECT_NE(text.find("f_max=8"), std::string::npos);
+}
+
+TEST_F(CliTest, ExploreCsvOutput) {
+  EXPECT_EQ(run({"explore", settop_path(), "--csv", "--no-stats"}), 0);
+  EXPECT_NE(out_.str().find("cost,flexibility,resources,clusters"),
+            std::string::npos);
+  EXPECT_NE(out_.str().find("430,8,"), std::string::npos);
+}
+
+TEST_F(CliTest, ExploreJsonOutput) {
+  EXPECT_EQ(run({"explore", settop_path(), "--json"}), 0);
+  Result<Json> doc = Json::parse(out_.str());
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  EXPECT_EQ(doc.value().number_or("max_flexibility", 0), 8.0);
+  ASSERT_NE(doc.value().find("front"), nullptr);
+  EXPECT_EQ(doc.value().find("front")->as_array().size(), 6u);
+}
+
+TEST_F(CliTest, ExploreEquivalentsFlag) {
+  EXPECT_EQ(run({"explore", settop_path(), "--json", "--equivalents"}), 0);
+  Result<Json> doc = Json::parse(out_.str());
+  ASSERT_TRUE(doc.ok());
+  const Json& row3 = doc.value().find("front")->as_array()[2];
+  ASSERT_NE(row3.find("equivalents"), nullptr);
+  EXPECT_GE(row3.find("equivalents")->as_array().size(), 1u);
+}
+
+TEST_F(CliTest, ExploreBudgetAndTargetQueries) {
+  EXPECT_EQ(run({"explore", settop_path(), "--budget=250"}), 0);
+  EXPECT_NE(out_.str().find("within budget 250: f=4 at $230"),
+            std::string::npos);
+  EXPECT_EQ(run({"explore", settop_path(), "--target-f=7"}), 0);
+  EXPECT_NE(out_.str().find("flexibility >= 7: $360"), std::string::npos);
+  EXPECT_EQ(run({"explore", settop_path(), "--budget=10"}), 0);
+  EXPECT_NE(out_.str().find("nothing feasible"), std::string::npos);
+  EXPECT_EQ(run({"explore", settop_path(), "--target-f=99"}), 0);
+  EXPECT_NE(out_.str().find("unreachable (max 8)"), std::string::npos);
+  EXPECT_EQ(run({"explore", settop_path(), "--budget=500", "--target-f=2"}),
+            0);
+  EXPECT_NE(out_.str().find("within budget 500"), std::string::npos);
+  EXPECT_NE(out_.str().find("flexibility >= 2: $100"), std::string::npos);
+}
+
+TEST_F(CliTest, ExploreRejectsBadFlags) {
+  EXPECT_EQ(run({"explore", settop_path(), "--comm=warp"}), 2);
+  EXPECT_EQ(run({"explore", settop_path(), "--bogus=1"}), 2);
+  EXPECT_EQ(run({"explore"}), 2);
+}
+
+TEST_F(CliTest, ExploreEvolutionary) {
+  EXPECT_EQ(run({"explore", settop_path(), "--evolutionary", "--seed=3"}), 0);
+  EXPECT_FALSE(out_.str().empty());
+}
+
+TEST_F(CliTest, UpgradeFromDeployedPlatform) {
+  EXPECT_EQ(run({"upgrade", settop_path(), "--existing=uP2"}), 0);
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("deployed: uP2  f=2 of 8"), std::string::npos);
+  EXPECT_NE(text.find("330"), std::string::npos);  // cheapest full upgrade
+  EXPECT_EQ(run({"upgrade", settop_path(), "--existing=bogus"}), 2);
+  EXPECT_EQ(run({"upgrade"}), 2);
+}
+
+TEST_F(CliTest, UpgradeFromNothingIsPlainExplore) {
+  EXPECT_EQ(run({"upgrade", settop_path()}), 0);
+  EXPECT_NE(out_.str().find("deployed: (nothing)"), std::string::npos);
+  EXPECT_NE(out_.str().find("430"), std::string::npos);
+}
+
+TEST_F(CliTest, SensitivityCommand) {
+  EXPECT_EQ(run({"sensitivity", settop_path(), "--alloc=uP2,A1,C2"}), 0);
+  EXPECT_NE(out_.str().find("implemented flexibility: 7"),
+            std::string::npos);
+  EXPECT_NE(out_.str().find("critical"), std::string::npos);
+  // Empty --alloc defaults to the full universe.
+  EXPECT_EQ(run({"sensitivity", settop_path()}), 0);
+  EXPECT_NE(out_.str().find("implemented flexibility: 8"),
+            std::string::npos);
+  EXPECT_EQ(run({"sensitivity", settop_path(), "--alloc=nope"}), 2);
+  EXPECT_EQ(run({"sensitivity"}), 2);
+}
+
+TEST_F(CliTest, ReduceCommandEmitsLoadableSpec) {
+  EXPECT_EQ(run({"reduce", settop_path(), "--alloc=uP2"}), 0);
+  Result<SpecificationGraph> reduced = spec_from_string(out_.str());
+  ASSERT_TRUE(reduced.ok()) << reduced.error().message;
+  EXPECT_EQ(reduced.value().alloc_units().size(), 1u);
+  EXPECT_FALSE(reduced.value().problem().find_node("Pd3").valid());
+  EXPECT_EQ(run({"reduce", settop_path(), "--alloc=wat"}), 2);
+  EXPECT_EQ(run({"reduce"}), 2);
+}
+
+TEST_F(CliTest, DotEmitsGraphviz) {
+  EXPECT_EQ(run({"dot", settop_path()}), 0);
+  EXPECT_NE(out_.str().find("digraph"), std::string::npos);
+  EXPECT_NE(out_.str().find("Pd3"), std::string::npos);
+  EXPECT_EQ(run({"dot", settop_path(), "--graph=architecture"}), 0);
+  EXPECT_NE(out_.str().find("FPGA"), std::string::npos);
+  EXPECT_EQ(run({"dot", settop_path(), "--graph=spec"}), 0);
+  EXPECT_NE(out_.str().find("problem graph G_P"), std::string::npos);
+  EXPECT_NE(out_.str().find("architecture graph G_A"), std::string::npos);
+  EXPECT_NE(out_.str().find("style=dotted"), std::string::npos);
+  EXPECT_EQ(run({"dot", settop_path(), "--graph=wat"}), 2);
+}
+
+TEST_F(CliTest, GenerateEmitsLoadableSpec) {
+  EXPECT_EQ(run({"generate", "--seed=9", "--applications=2"}), 0);
+  Result<SpecificationGraph> spec = spec_from_string(out_.str());
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  EXPECT_GT(spec.value().problem().leaves().size(), 0u);
+}
+
+TEST_F(CliTest, DemoModelsRoundTrip) {
+  EXPECT_EQ(run({"demo", "settop"}), 0);
+  ASSERT_TRUE(spec_from_string(out_.str()).ok());
+  EXPECT_EQ(run({"demo", "decoder"}), 0);
+  ASSERT_TRUE(spec_from_string(out_.str()).ok());
+  EXPECT_EQ(run({"demo", "nope"}), 2);
+  EXPECT_EQ(run({"demo"}), 2);
+}
+
+TEST_F(CliTest, PipelineGenerateExplore) {
+  // generate | explore: the synthetic spec explores without error.
+  EXPECT_EQ(run({"generate", "--seed=4"}), 0);
+  const std::string path = "/tmp/sdf_cli_test_gen.json";
+  std::ofstream(path) << out_.str();
+  EXPECT_EQ(run({"explore", path}), 0);
+  EXPECT_NE(out_.str().find("cost"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,152 @@
+// Contract (precondition) tests: violating documented API preconditions
+// aborts via SDF_CHECK rather than corrupting state.  Death tests — each
+// EXPECT_DEATH runs the statement in a forked child.
+#include <gtest/gtest.h>
+
+#include "bind/solver.hpp"
+#include "graph/hierarchical_graph.hpp"
+#include "spec/builder.hpp"
+#include "util/dyn_bitset.hpp"
+#include "util/table.hpp"
+
+namespace sdf {
+namespace {
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, EdgeAcrossClustersAborts) {
+  HierarchicalGraph g("g");
+  const NodeId top = g.add_vertex(g.root(), "top");
+  const NodeId iface = g.add_interface(g.root(), "i");
+  const ClusterId c = g.add_cluster(iface, "c");
+  const NodeId inner = g.add_vertex(c, "inner");
+  EXPECT_DEATH(g.add_edge(top, inner), "inside one cluster");
+}
+
+TEST(ContractDeathTest, ClusterOnVertexAborts) {
+  HierarchicalGraph g("g");
+  const NodeId v = g.add_vertex(g.root(), "v");
+  EXPECT_DEATH(g.add_cluster(v, "c"), "refine interfaces");
+}
+
+TEST(ContractDeathTest, PortOnVertexAborts) {
+  HierarchicalGraph g("g");
+  const NodeId v = g.add_vertex(g.root(), "v");
+  EXPECT_DEATH(g.add_port(v, "p", PortDirection::kIn), "interfaces only");
+}
+
+TEST(ContractDeathTest, PortMappingOutsideClusterAborts) {
+  HierarchicalGraph g("g");
+  const NodeId iface = g.add_interface(g.root(), "i");
+  const PortId port = g.add_port(iface, "in", PortDirection::kIn);
+  const ClusterId c = g.add_cluster(iface, "c");
+  g.add_vertex(c, "inside");
+  const NodeId outside = g.add_vertex(g.root(), "outside");
+  EXPECT_DEATH(g.map_port(port, c, outside), "not inside cluster");
+}
+
+TEST(ContractDeathTest, MappingFromInterfaceAborts) {
+  SpecBuilder b("bad");
+  const NodeId iface = b.interface("i");
+  const ClusterId c = b.alternative(iface, "c");
+  b.process("p", c);
+  const NodeId r = b.resource("cpu", 1.0);
+  EXPECT_DEATH(b.map(iface, r, 1.0), "problem-graph leaves");
+}
+
+TEST(ContractDeathTest, BitsetSizeMismatchAborts) {
+  DynBitset a(10), b(20);
+  EXPECT_DEATH(a |= b, "size mismatch");
+}
+
+TEST(ContractDeathTest, BitsetShrinkAborts) {
+  DynBitset a(10);
+  EXPECT_DEATH(a.resize(5), "cannot shrink");
+}
+
+TEST(ContractDeathTest, TableRowWidthMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only one"}), "row width mismatch");
+}
+
+TEST(ContractDeathTest, BadIdAccessAborts) {
+  HierarchicalGraph g("g");
+  EXPECT_DEATH(g.node(NodeId{42u}), "bad NodeId");
+  EXPECT_DEATH(g.cluster(ClusterId{42u}), "bad ClusterId");
+}
+
+// ---- deep architecture nesting (non-death structural contract) ---------------
+
+TEST(DeepArchitecture, LeavesResolveToOutermostCluster) {
+  // An FPGA whose configuration itself contains a reconfigurable region:
+  // allocation granularity stays at the outermost configuration, and every
+  // nested leaf resolves to it.
+  SpecBuilder b("nested_arch");
+  const NodeId p = b.process("p");
+  HierarchicalGraph& a = b.spec().architecture();
+  const NodeId fpga = a.add_interface(a.root(), "fpga");
+  a.set_attr(fpga, attr::kCost, 5.0);
+  const ClusterId cfg = a.add_cluster(fpga, "cfg_outer");
+  a.set_attr(cfg, attr::kCost, 40.0);
+  const NodeId region = a.add_interface(cfg, "region");
+  const ClusterId inner = a.add_cluster(region, "cfg_inner");
+  const NodeId leaf = a.add_vertex(inner, "engine");
+  const NodeId cpu = b.resource("cpu", 30.0);
+  b.map(p, leaf, 7.0);
+  b.map(p, cpu, 9.0);
+  const SpecificationGraph spec = b.build();
+
+  // Units: cpu (vertex) + cfg_outer (outermost cluster only).
+  ASSERT_EQ(spec.alloc_units().size(), 2u);
+  const AllocUnitId outer = spec.find_unit("cfg_outer");
+  ASSERT_TRUE(outer.valid());
+  EXPECT_FALSE(spec.find_unit("cfg_inner").valid());
+  EXPECT_EQ(spec.unit_of_resource(leaf), outer);
+
+  // Allocating the configuration charges the device interface once.
+  AllocSet alloc = spec.make_alloc_set();
+  alloc.set(outer.index());
+  EXPECT_EQ(spec.allocation_cost(alloc), 45.0);
+}
+
+TEST(DeepArchitecture, TwoReconfigurableDevicesAreIndependent) {
+  // Two FPGAs: configurations of different devices may be active in the
+  // same activation; configurations of the same device may not.
+  SpecBuilder b("two_fpgas");
+  const NodeId p1 = b.process("p1");
+  const NodeId p2 = b.process("p2");
+  b.depends(p1, p2);
+  const NodeId cpu = b.resource("cpu", 10.0);
+  (void)cpu;
+  const NodeId fpga_a = b.device("fpgaA");
+  const NodeId fpga_b = b.device("fpgaB");
+  const NodeId a1 = b.configuration(fpga_a, "a1", 5.0);
+  const NodeId a2 = b.configuration(fpga_a, "a2", 5.0);
+  const NodeId b1 = b.configuration(fpga_b, "b1", 5.0);
+  b.bus("bus", 1.0, {fpga_a, fpga_b});
+  b.map(p1, a1, 1.0);
+  b.map(p1, a2, 2.0);
+  b.map(p2, b1, 1.0);
+  b.map(p2, a2, 3.0);
+  const SpecificationGraph spec = b.build();
+
+  AllocSet cross = spec.make_alloc_set();
+  cross.set(spec.find_unit("a1").index());
+  cross.set(spec.find_unit("b1").index());
+  cross.set(spec.find_unit("bus").index());
+  // p1 on fpgaA/a1, p2 on fpgaB/b1: two devices, fine.
+  EXPECT_TRUE(solve_binding(spec, cross, Eca{}).has_value());
+
+  AllocSet same = spec.make_alloc_set();
+  same.set(spec.find_unit("a1").index());
+  same.set(spec.find_unit("a2").index());
+  // p1 needs a1 or a2, p2 needs a2; a1+a2 simultaneously is ambiguous, but
+  // both processes CAN share configuration a2.
+  const auto binding = solve_binding(spec, same, Eca{});
+  ASSERT_TRUE(binding.has_value());
+  for (const BindingAssignment& a : binding->assignments())
+    EXPECT_EQ(spec.alloc_units()[a.unit.index()].name, "a2");
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,97 @@
+// End-to-end integration: the full library pipeline on the case study.
+//
+// save -> load -> explore -> (per front point) reduce / sensitivity /
+// cover timeline / reconfiguration -> upgrade chain.  Each stage consumes
+// the previous stage's output, so this catches contract drift between
+// modules that the per-module suites cannot.
+#include <gtest/gtest.h>
+
+#include "activation/cover_timeline.hpp"
+#include "explore/explorer.hpp"
+#include "explore/incremental.hpp"
+#include "explore/sensitivity.hpp"
+#include "flex/reduce.hpp"
+#include "gen/presets.hpp"
+#include "sched/reconfig.hpp"
+#include "spec/paper_models.hpp"
+#include "spec/spec_io.hpp"
+
+namespace sdf {
+namespace {
+
+TEST(Integration, FullPipelineOnCaseStudy) {
+  // 1. Serialize and reload the model; work with the reloaded copy only.
+  const Result<std::string> text =
+      spec_to_string(models::make_settop_spec());
+  ASSERT_TRUE(text.ok());
+  Result<SpecificationGraph> loaded = spec_from_string(text.value());
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  const SpecificationGraph& spec = loaded.value();
+
+  // 2. Explore.
+  const ExploreResult result = explore(spec);
+  ASSERT_EQ(result.front.size(), 6u);
+  EXPECT_EQ(result.max_flexibility, 8.0);
+
+  for (const Implementation& impl : result.front) {
+    SCOPED_TRACE(spec.allocation_names(impl.units));
+
+    // 3. The reduction of each Pareto allocation re-explores to a
+    //    single-point front at the same (cost, flexibility).
+    const SpecificationGraph reduced =
+        reduce_specification(spec, impl.units);
+    ASSERT_TRUE(reduced.validate().ok());
+    const ExploreResult re = explore(reduced);
+    ASSERT_FALSE(re.front.empty());
+    EXPECT_EQ(re.front.back().flexibility, impl.flexibility);
+    EXPECT_LE(re.front.back().cost, impl.cost);
+
+    // 4. Sensitivity: the full-platform flexibility matches.
+    const SensitivityReport sens = flexibility_sensitivity(spec, impl.units);
+    EXPECT_EQ(sens.flexibility, impl.flexibility);
+
+    // 5. Cover timeline: valid and implementable, and its reconfiguration
+    //    analysis succeeds on the same allocation.
+    const ActivationTimeline tl =
+        make_cover_timeline(spec.problem(), impl, 1000.0);
+    ASSERT_FALSE(tl.empty());
+    EXPECT_TRUE(tl.check(spec.problem()).ok());
+    const auto reconfig = analyze_reconfiguration(spec, impl.units, tl);
+    ASSERT_TRUE(reconfig.ok()) << reconfig.error().message;
+    EXPECT_EQ(reconfig.value().bindings.size(), tl.segments().size());
+    EXPECT_TRUE(reconfig.value().all_fit());  // no reconfig times annotated
+  }
+
+  // 6. Upgrade chain: walking upgrades from the cheapest platform ends at
+  //    maximal flexibility with total cost equal to the direct optimum.
+  const UpgradeResult up = explore_upgrades(spec, result.front[0].units);
+  ASSERT_FALSE(up.front.empty());
+  EXPECT_EQ(up.front.back().implementation.flexibility, 8.0);
+  EXPECT_EQ(result.front[0].cost + up.front.back().upgrade_cost,
+            result.front.back().cost);
+}
+
+TEST(Integration, FullPipelineOnPresets) {
+  for (PlatformPreset preset :
+       {PlatformPreset::kSetTopBox, PlatformPreset::kAutomotiveEcu}) {
+    SCOPED_TRACE(preset_name(preset));
+    const SpecificationGraph spec = generate_preset(preset, 23);
+
+    // Round-trip, explore, and validate every front point end-to-end.
+    Result<SpecificationGraph> loaded =
+        spec_from_string(spec_to_string(spec).value());
+    ASSERT_TRUE(loaded.ok());
+    const ExploreResult result = explore(loaded.value());
+    for (const Implementation& impl : result.front) {
+      const SensitivityReport sens =
+          flexibility_sensitivity(loaded.value(), impl.units);
+      EXPECT_EQ(sens.flexibility, impl.flexibility);
+      const ActivationTimeline tl =
+          make_cover_timeline(loaded.value().problem(), impl, 100.0);
+      EXPECT_TRUE(tl.check(loaded.value().problem()).ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdf

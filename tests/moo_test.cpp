@@ -1,0 +1,116 @@
+// Tests for Pareto utilities and quality indicators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "moo/indicators.hpp"
+#include "moo/pareto.hpp"
+
+namespace sdf {
+namespace {
+
+TEST(Dominance, BasicCases) {
+  const ParetoPoint a{1, 1, 0};
+  const ParetoPoint b{2, 2, 0};
+  const ParetoPoint c{1, 2, 0};
+  const ParetoPoint d{2, 1, 0};
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+  EXPECT_TRUE(dominates(a, c));
+  EXPECT_TRUE(dominates(a, d));
+  EXPECT_FALSE(dominates(c, d));  // incomparable
+  EXPECT_FALSE(dominates(d, c));
+  EXPECT_FALSE(dominates(a, a));  // equal: no strict improvement
+}
+
+TEST(ParetoArchive, KeepsNonDominated) {
+  ParetoArchive archive;
+  EXPECT_TRUE(archive.insert({3, 3, 0}));
+  EXPECT_TRUE(archive.insert({1, 5, 1}));
+  EXPECT_TRUE(archive.insert({5, 1, 2}));
+  EXPECT_EQ(archive.size(), 3u);
+  // Dominated by (3,3).
+  EXPECT_FALSE(archive.insert({4, 4, 3}));
+  EXPECT_EQ(archive.size(), 3u);
+  // Dominates (3,3) and (1,5).
+  EXPECT_TRUE(archive.insert({1, 2, 4}));
+  EXPECT_EQ(archive.size(), 2u);
+  const auto front = archive.front();
+  EXPECT_EQ(front[0].x, 1.0);
+  EXPECT_EQ(front[0].y, 2.0);
+  EXPECT_EQ(front[1].x, 5.0);
+}
+
+TEST(ParetoArchive, RejectsDuplicates) {
+  ParetoArchive archive;
+  EXPECT_TRUE(archive.insert({1, 1, 0}));
+  EXPECT_FALSE(archive.insert({1, 1, 1}));
+  EXPECT_EQ(archive.size(), 1u);
+}
+
+TEST(ParetoArchive, CoveredQuery) {
+  ParetoArchive archive;
+  archive.insert({2, 2, 0});
+  EXPECT_TRUE(archive.covered({3, 3, 0}));
+  EXPECT_TRUE(archive.covered({2, 2, 0}));
+  EXPECT_FALSE(archive.covered({1, 3, 0}));
+}
+
+TEST(ParetoFront, ExtractsAndSorts) {
+  const auto front = pareto_front({{5, 1, 0},
+                                   {1, 5, 1},
+                                   {3, 3, 2},
+                                   {4, 4, 3},   // dominated
+                                   {2, 6, 4}}); // dominated
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].x, 1.0);
+  EXPECT_EQ(front[1].x, 3.0);
+  EXPECT_EQ(front[2].x, 5.0);
+}
+
+TEST(ParetoFront, EmptyInput) {
+  EXPECT_TRUE(pareto_front({}).empty());
+}
+
+TEST(Hypervolume, SinglePoint) {
+  // Rectangle between (1,1) and ref (3,3): area 4.
+  EXPECT_EQ(hypervolume({{1, 1, 0}}, 3, 3), 4.0);
+}
+
+TEST(Hypervolume, StaircaseAddsDisjointStrips) {
+  const std::vector<ParetoPoint> front{{1, 3, 0}, {2, 2, 1}, {3, 1, 2}};
+  // ref (4,4): strips 1*(4-1=3->4-3=1)... computed: (4-1)*(4-3)=3,
+  // (4-2)*(3-2)=2, (4-3)*(2-1)=1 -> 6.
+  EXPECT_EQ(hypervolume(front, 4, 4), 6.0);
+}
+
+TEST(Hypervolume, IgnoresPointsBeyondReference) {
+  EXPECT_EQ(hypervolume({{5, 5, 0}}, 3, 3), 0.0);
+  EXPECT_EQ(hypervolume({{1, 1, 0}, {10, 0.5, 1}}, 3, 3), 4.0);
+}
+
+TEST(Hypervolume, DominatedPointsDoNotInflate) {
+  const double hv1 = hypervolume({{1, 1, 0}}, 3, 3);
+  const double hv2 = hypervolume({{1, 1, 0}, {2, 2, 1}}, 3, 3);
+  EXPECT_EQ(hv1, hv2);
+}
+
+TEST(AdditiveEpsilon, ZeroWhenCovered) {
+  const std::vector<ParetoPoint> a{{1, 2, 0}, {2, 1, 1}};
+  EXPECT_EQ(additive_epsilon(a, a), 0.0);
+}
+
+TEST(AdditiveEpsilon, MeasuresGap) {
+  const std::vector<ParetoPoint> reference{{1, 1, 0}};
+  const std::vector<ParetoPoint> candidate{{2, 3, 0}};
+  // candidate must improve by max(1, 2) = 2 to cover the reference.
+  EXPECT_EQ(additive_epsilon(reference, candidate), 2.0);
+}
+
+TEST(AdditiveEpsilon, EmptyCandidateIsInfinite) {
+  EXPECT_TRUE(std::isinf(additive_epsilon({{1, 1, 0}}, {})));
+  EXPECT_EQ(additive_epsilon({}, {{1, 1, 0}}), 0.0);
+}
+
+}  // namespace
+}  // namespace sdf

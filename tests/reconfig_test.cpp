@@ -1,0 +1,145 @@
+// Tests for reconfiguration-overhead analysis of timed activations.
+#include <gtest/gtest.h>
+
+#include "explore/explorer.hpp"
+#include "sched/reconfig.hpp"
+#include "spec/paper_models.hpp"
+
+namespace sdf {
+namespace {
+
+/// Set-Top spec with reconfiguration times annotated on the FPGA configs.
+SpecificationGraph annotated_settop(double reconfig_time) {
+  SpecificationGraph spec = models::make_settop_spec();
+  HierarchicalGraph& arch = spec.architecture();
+  for (const char* cfg : {"G1", "U2", "D3"})
+    arch.set_attr(arch.find_cluster(cfg), attr::kReconfigTime, reconfig_time);
+  return spec;
+}
+
+ClusterSelection select(const HierarchicalGraph& p,
+                        std::initializer_list<const char*> clusters) {
+  ClusterSelection sel;
+  for (const char* name : clusters) sel.select(p, p.find_cluster(name));
+  return sel;
+}
+
+AllocSet fpga_platform(const SpecificationGraph& spec) {
+  // uP2 + FPGA(G1, D3) + bus: the game *must* run its core on G1 (uP2
+  // alone fails the utilization bound) and the D3 decryptor must run on
+  // D3, so the FPGA demonstrably reconfigures between the two.
+  AllocSet a = spec.make_alloc_set();
+  for (const char* n : {"uP2", "C1", "D3", "G1"})
+    a.set(spec.find_unit(n).index());
+  return a;
+}
+
+TEST(Reconfig, NoSwitchesWithoutConfigurationUse) {
+  // A timeline that stays on uP2-only bindings never touches the FPGA.
+  const SpecificationGraph spec = annotated_settop(5.0);
+  AllocSet up2 = spec.make_alloc_set();
+  up2.set(spec.find_unit("uP2").index());
+
+  ActivationTimeline tl;
+  tl.switch_at(0.0, select(spec.problem(), {"gD", "gD1", "gU1"}));
+  tl.switch_at(100.0, select(spec.problem(), {"gI"}));
+
+  const auto report = analyze_reconfiguration(spec, up2, tl);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_EQ(report.value().switches(), 0u);
+  EXPECT_EQ(report.value().total_overhead, 0.0);
+  EXPECT_EQ(report.value().bindings.size(), 2u);
+}
+
+TEST(Reconfig, CountsConfigurationSwitches) {
+  const SpecificationGraph spec = annotated_settop(5.0);
+  const HierarchicalGraph& p = spec.problem();
+  const AllocSet platform = fpga_platform(spec);
+
+  ActivationTimeline tl;
+  tl.switch_at(0.0, select(p, {"gD", "gD3", "gU1"}));    // load D3
+  tl.switch_at(100.0, select(p, {"gD", "gD1", "gU1"}));  // FPGA idle
+  tl.switch_at(200.0, select(p, {"gD", "gD3", "gU1"}));  // D3 still loaded
+
+  const auto report = analyze_reconfiguration(spec, platform, tl);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  // Only the initial load of D3: the idle segment does not unload it.
+  EXPECT_EQ(report.value().switches(), 1u);
+  EXPECT_EQ(report.value().total_overhead, 5.0);
+  EXPECT_TRUE(report.value().all_fit());
+  const ReconfigEvent& e = report.value().events.front();
+  EXPECT_EQ(e.time, 0.0);
+  EXPECT_FALSE(e.from.valid());  // first load
+  EXPECT_EQ(spec.architecture().cluster(e.to).name, "D3");
+}
+
+TEST(Reconfig, GameTvAlternationReconfigures) {
+  const SpecificationGraph spec = annotated_settop(8.0);
+  const HierarchicalGraph& p = spec.problem();
+  const AllocSet platform = fpga_platform(spec);
+
+  ActivationTimeline tl;
+  tl.switch_at(0.0, select(p, {"gG", "gG1"}));           // game on G1
+  tl.switch_at(100.0, select(p, {"gD", "gD3", "gU1"}));  // TV on D3
+  tl.switch_at(200.0, select(p, {"gG", "gG1"}));         // back to game
+
+  const auto report = analyze_reconfiguration(spec, platform, tl);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  // G1 -> D3 -> G1: three loads of the single FPGA.
+  EXPECT_EQ(report.value().switches(), 3u);
+  EXPECT_EQ(report.value().total_overhead, 24.0);
+  EXPECT_TRUE(report.value().all_fit());
+  EXPECT_TRUE(report.value().events[1].from.valid());
+  EXPECT_EQ(spec.architecture().cluster(report.value().events[1].from).name,
+            "G1");
+}
+
+TEST(Reconfig, OverlongReconfigurationFlagged) {
+  // A 150-unit load does not fit a 100-unit segment.
+  const SpecificationGraph spec = annotated_settop(150.0);
+  const HierarchicalGraph& p = spec.problem();
+  const AllocSet platform = fpga_platform(spec);
+
+  ActivationTimeline tl;
+  tl.switch_at(0.0, select(p, {"gG", "gG1"}));           // 300-long: fits
+  tl.switch_at(300.0, select(p, {"gD", "gD3", "gU1"}));  // 100-long: misfit
+  tl.switch_at(400.0, select(p, {"gI"}));
+
+  const auto report = analyze_reconfiguration(spec, platform, tl);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_FALSE(report.value().all_fit());
+  bool found_misfit = false;
+  for (const ReconfigEvent& e : report.value().events)
+    if (!e.fits_segment) {
+      found_misfit = true;
+      EXPECT_EQ(e.time, 300.0);
+    }
+  EXPECT_TRUE(found_misfit);
+}
+
+TEST(Reconfig, InfeasibleSegmentReported) {
+  const SpecificationGraph spec = annotated_settop(1.0);
+  AllocSet up2 = spec.make_alloc_set();
+  up2.set(spec.find_unit("uP2").index());
+
+  ActivationTimeline tl;
+  tl.switch_at(0.0, select(spec.problem(), {"gG", "gG1"}));  // fails timing
+  const auto report = analyze_reconfiguration(spec, up2, tl);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.error().message.find("t=0"), std::string::npos);
+}
+
+TEST(Reconfig, DefaultReconfigTimeIsZero) {
+  const SpecificationGraph spec = models::make_settop_spec();  // unannotated
+  const HierarchicalGraph& p = spec.problem();
+  const AllocSet platform = fpga_platform(spec);
+  ActivationTimeline tl;
+  tl.switch_at(0.0, select(p, {"gD", "gD3", "gU1"}));
+  const auto report = analyze_reconfiguration(spec, platform, tl);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().switches(), 1u);
+  EXPECT_EQ(report.value().total_overhead, 0.0);
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,126 @@
+// Tests for the per-unit flexibility sensitivity analysis.
+#include <gtest/gtest.h>
+
+#include "explore/explorer.hpp"
+#include "explore/sensitivity.hpp"
+#include "spec/paper_models.hpp"
+
+namespace sdf {
+namespace {
+
+const SpecificationGraph& settop() {
+  static const SpecificationGraph spec = models::make_settop_spec();
+  return spec;
+}
+
+AllocSet alloc_of(const SpecificationGraph& spec,
+                  std::initializer_list<const char*> names) {
+  AllocSet a = spec.make_alloc_set();
+  for (const char* n : names) a.set(spec.find_unit(n).index());
+  return a;
+}
+
+const UnitSensitivity* find_unit(const SensitivityReport& report,
+                                 const SpecificationGraph& spec,
+                                 const char* name) {
+  const AllocUnitId id = spec.find_unit(name);
+  for (const UnitSensitivity& u : report.units)
+    if (u.unit == id) return &u;
+  return nullptr;
+}
+
+TEST(Sensitivity, Up2AloneIsCritical) {
+  const SpecificationGraph& spec = settop();
+  const SensitivityReport report =
+      flexibility_sensitivity(spec, alloc_of(spec, {"uP2"}));
+  EXPECT_EQ(report.flexibility, 2.0);
+  ASSERT_EQ(report.units.size(), 1u);
+  EXPECT_TRUE(report.units[0].critical);
+  EXPECT_EQ(report.units[0].flexibility_loss, 2.0);
+}
+
+TEST(Sensitivity, FullPlatformBreakdown) {
+  // The $430 platform: removing uP2 kills everything (critical); removing
+  // D3 or C1 loses gD3 (8 -> 7); removing A1 loses the game and the
+  // ASIC-hosted decoder alternatives.
+  const SpecificationGraph& spec = settop();
+  const SensitivityReport report = flexibility_sensitivity(
+      spec, alloc_of(spec, {"uP2", "A1", "C1", "C2", "D3"}));
+  EXPECT_EQ(report.flexibility, 8.0);
+
+  const UnitSensitivity* up2 = find_unit(report, spec, "uP2");
+  ASSERT_NE(up2, nullptr);
+  EXPECT_TRUE(up2->critical);
+  EXPECT_EQ(up2->flexibility_loss, 8.0);
+
+  // Without A1 the game dies entirely (G1 is not allocated here) and gD2 /
+  // gU2 lose their only hosts: f 8 -> 3.
+  const UnitSensitivity* a1 = find_unit(report, spec, "A1");
+  ASSERT_NE(a1, nullptr);
+  EXPECT_FALSE(a1->critical);
+  EXPECT_EQ(a1->flexibility_loss, 5.0);
+
+  const UnitSensitivity* d3 = find_unit(report, spec, "D3");
+  ASSERT_NE(d3, nullptr);
+  EXPECT_EQ(d3->flexibility_loss, 1.0);  // 8 -> 7
+
+  const UnitSensitivity* c1 = find_unit(report, spec, "C1");
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c1->flexibility_loss, 1.0);  // D3 unreachable without the bus
+
+  // Sorted by descending loss.
+  for (std::size_t i = 1; i < report.units.size(); ++i)
+    EXPECT_GE(report.units[i - 1].flexibility_loss,
+              report.units[i].flexibility_loss);
+}
+
+TEST(Sensitivity, RedundantUnitsDetected) {
+  // C5 (uP1-FPGA bus) contributes nothing on a uP2-based platform.
+  const SpecificationGraph& spec = settop();
+  const SensitivityReport report = flexibility_sensitivity(
+      spec, alloc_of(spec, {"uP2", "C1", "G1", "U2", "C5"}));
+  EXPECT_EQ(report.flexibility, 4.0);
+  const auto redundant = report.redundant_units();
+  ASSERT_EQ(redundant.size(), 1u);
+  EXPECT_EQ(redundant[0], spec.find_unit("C5"));
+}
+
+TEST(Sensitivity, LossPerCostRanking) {
+  const SpecificationGraph& spec = settop();
+  const SensitivityReport report = flexibility_sensitivity(
+      spec, alloc_of(spec, {"uP2", "C1", "G1", "U2", "D3"}));
+  const UnitSensitivity* g1 = find_unit(report, spec, "G1");
+  ASSERT_NE(g1, nullptr);
+  // gG1 lost: f 5 -> 4; at cost 60 that is 1/60.
+  EXPECT_EQ(g1->flexibility_loss, 1.0);
+  EXPECT_NEAR(g1->loss_per_cost, 1.0 / 60.0, 1e-12);
+}
+
+TEST(Sensitivity, InfeasibleAllocationAllCritical) {
+  const SpecificationGraph& spec = settop();
+  const SensitivityReport report =
+      flexibility_sensitivity(spec, alloc_of(spec, {"A1"}));
+  EXPECT_EQ(report.flexibility, 0.0);
+  ASSERT_EQ(report.units.size(), 1u);
+  EXPECT_TRUE(report.units[0].critical);
+  EXPECT_EQ(report.units[0].flexibility_loss, 0.0);
+}
+
+TEST(Sensitivity, LossesConsistentWithExploreFront) {
+  // Removing any single unit from a Pareto platform cannot yield MORE
+  // flexibility, and the loss is bounded by the platform's flexibility.
+  const SpecificationGraph& spec = settop();
+  const ExploreResult result = explore(spec);
+  for (const Implementation& impl : result.front) {
+    const SensitivityReport report =
+        flexibility_sensitivity(spec, impl.units);
+    EXPECT_EQ(report.flexibility, impl.flexibility);
+    for (const UnitSensitivity& u : report.units) {
+      EXPECT_GE(u.flexibility_loss, 0.0);
+      EXPECT_LE(u.flexibility_loss, impl.flexibility);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,163 @@
+// Tests for interval dominance and uncertain-cost exploration.
+#include <gtest/gtest.h>
+
+#include "explore/explorer.hpp"
+#include "explore/uncertain.hpp"
+#include "spec/paper_models.hpp"
+
+namespace sdf {
+namespace {
+
+const SpecificationGraph& settop() {
+  static const SpecificationGraph spec = models::make_settop_spec();
+  return spec;
+}
+
+// ---- Interval ----------------------------------------------------------------
+
+TEST(Interval, Basics) {
+  const Interval i{2.0, 5.0};
+  EXPECT_EQ(i.width(), 3.0);
+  EXPECT_EQ(i.mid(), 3.5);
+  EXPECT_TRUE(i.contains(2.0));
+  EXPECT_TRUE(i.contains(5.0));
+  EXPECT_FALSE(i.contains(5.1));
+  EXPECT_EQ(Interval::exact(4.0), (Interval{4.0, 4.0}));
+  EXPECT_EQ((Interval{1, 2} + Interval{3, 4}), (Interval{4.0, 6.0}));
+  EXPECT_TRUE((Interval{1, 3}).overlaps(Interval{2, 4}));
+  EXPECT_FALSE((Interval{1, 2}).overlaps(Interval{3, 4}));
+}
+
+TEST(IntervalDominance, CertainRequiresDisjointBetterCost) {
+  const IntervalPoint cheap_good{{1, 2}, 0.2, 0};
+  const IntervalPoint dear_bad{{3, 4}, 0.5, 1};
+  const IntervalPoint overlap_bad{{1.5, 3.5}, 0.5, 2};
+  EXPECT_TRUE(certainly_dominates(cheap_good, dear_bad));
+  EXPECT_FALSE(certainly_dominates(dear_bad, cheap_good));
+  // Overlapping cost intervals: never certain.
+  EXPECT_FALSE(certainly_dominates(cheap_good, overlap_bad));
+  EXPECT_TRUE(possibly_dominates(cheap_good, overlap_bad));
+}
+
+TEST(IntervalDominance, EqualPointsDominateNeitherWay) {
+  const IntervalPoint p{{1, 2}, 0.3, 0};
+  EXPECT_FALSE(certainly_dominates(p, p));
+}
+
+TEST(IntervalDominance, ExactIntervalsReduceToCrispDominance) {
+  const IntervalPoint a{Interval::exact(1), 1.0, 0};
+  const IntervalPoint b{Interval::exact(2), 2.0, 1};
+  const IntervalPoint c{Interval::exact(1), 2.0, 2};
+  EXPECT_TRUE(certainly_dominates(a, b));
+  EXPECT_TRUE(certainly_dominates(a, c));
+  EXPECT_FALSE(certainly_dominates(c, a));
+}
+
+TEST(IntervalFront, KeepsIncomparableOverlaps) {
+  IntervalFront front;
+  EXPECT_TRUE(front.insert({{1, 3}, 0.5, 0}));
+  EXPECT_TRUE(front.insert({{2, 4}, 0.4, 1}));  // overlapping: kept
+  EXPECT_EQ(front.size(), 2u);
+  // Certainly dominated by the first: rejected.
+  EXPECT_FALSE(front.insert({{5, 6}, 0.6, 2}));
+  // Certainly dominates both: replaces them.
+  EXPECT_TRUE(front.insert({{0.1, 0.5}, 0.1, 3}));
+  EXPECT_EQ(front.size(), 1u);
+}
+
+// ---- uncertain exploration -------------------------------------------------------
+
+TEST(UncertainExplore, ZeroUncertaintyMatchesCrispFront) {
+  const SpecificationGraph& spec = settop();
+  const UncertainExploreResult uncertain = explore_uncertain(spec);
+  const ExploreResult crisp = explore(spec);
+  ASSERT_EQ(uncertain.front.size(), crisp.front.size());
+  for (std::size_t i = 0; i < crisp.front.size(); ++i) {
+    EXPECT_EQ(uncertain.front[i].cost, Interval::exact(crisp.front[i].cost));
+    EXPECT_EQ(uncertain.front[i].implementation.flexibility,
+              crisp.front[i].flexibility);
+  }
+}
+
+TEST(UncertainExplore, UncertaintyGrowsTheFront) {
+  // With +-15% cost uncertainty, neighboring crisp points' intervals
+  // overlap and previously-dominated designs become incomparable: the
+  // uncertain Pareto set is at least as large as the crisp front.
+  const SpecificationGraph& spec = settop();
+  UncertainExploreOptions options;
+  options.relative_uncertainty = 0.15;
+  const UncertainExploreResult uncertain = explore_uncertain(spec, options);
+  const ExploreResult crisp = explore(spec);
+  EXPECT_GE(uncertain.front.size(), crisp.front.size());
+
+  // Every crisp front point survives (it cannot be certainly dominated).
+  for (const Implementation& c : crisp.front) {
+    bool present = false;
+    for (const UncertainPoint& u : uncertain.front)
+      if (u.implementation.flexibility == c.flexibility &&
+          u.cost.contains(c.cost))
+        present = true;
+    EXPECT_TRUE(present) << c.cost << " f=" << c.flexibility;
+  }
+}
+
+TEST(UncertainExplore, IntervalsScaleWithUncertainty) {
+  const SpecificationGraph& spec = settop();
+  UncertainExploreOptions options;
+  options.relative_uncertainty = 0.10;
+  const UncertainExploreResult r = explore_uncertain(spec, options);
+  ASSERT_FALSE(r.front.empty());
+  for (const UncertainPoint& p : r.front) {
+    const double crisp = spec.allocation_cost(p.implementation.units);
+    EXPECT_NEAR(p.cost.lo, crisp * 0.9, 1e-9);
+    EXPECT_NEAR(p.cost.hi, crisp * 1.1, 1e-9);
+  }
+}
+
+TEST(UncertainExplore, PerUnitAnnotationsRespected) {
+  SpecificationGraph spec = models::make_settop_spec();
+  HierarchicalGraph& arch = spec.architecture();
+  // The ASIC A1 is a risky custom part: cost in [200, 400].
+  arch.set_attr(arch.find_node("A1"), attr::kCostLo, 200.0);
+  arch.set_attr(arch.find_node("A1"), attr::kCostHi, 400.0);
+
+  AllocSet a = spec.make_alloc_set();
+  a.set(spec.find_unit("uP2").index());
+  a.set(spec.find_unit("A1").index());
+  a.set(spec.find_unit("C2").index());
+  const Interval cost = allocation_cost_interval(spec, a);
+  EXPECT_EQ(cost, (Interval{100.0 + 200.0 + 10.0, 100.0 + 400.0 + 10.0}));
+}
+
+TEST(UncertainExplore, MutuallyNonCertainlyDominated) {
+  const SpecificationGraph& spec = settop();
+  UncertainExploreOptions options;
+  options.relative_uncertainty = 0.2;
+  const UncertainExploreResult r = explore_uncertain(spec, options);
+  for (std::size_t i = 0; i < r.front.size(); ++i) {
+    for (std::size_t j = 0; j < r.front.size(); ++j) {
+      if (i == j) continue;
+      const IntervalPoint a{r.front[i].cost,
+                            1.0 / r.front[i].implementation.flexibility, i};
+      const IntervalPoint b{r.front[j].cost,
+                            1.0 / r.front[j].implementation.flexibility, j};
+      EXPECT_FALSE(certainly_dominates(a, b));
+    }
+  }
+}
+
+TEST(UncertainExplore, ShrinkingUncertaintyConvergesToCrisp) {
+  const SpecificationGraph& spec = settop();
+  std::size_t previous = std::numeric_limits<std::size_t>::max();
+  for (double u : {0.2, 0.05, 0.0}) {
+    UncertainExploreOptions options;
+    options.relative_uncertainty = u;
+    const UncertainExploreResult r = explore_uncertain(spec, options);
+    EXPECT_LE(r.front.size(), previous);
+    previous = r.front.size();
+  }
+  EXPECT_EQ(previous, explore(spec).front.size());
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,12 @@
+// Entry point of the `sdf` command-line tool; all logic lives in
+// src/cli/cli.cpp so it is unit-testable.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return sdf::run_cli(args, std::cout, std::cerr);
+}
