@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_binding.dir/bench_fig2_binding.cpp.o"
+  "CMakeFiles/bench_fig2_binding.dir/bench_fig2_binding.cpp.o.d"
+  "bench_fig2_binding"
+  "bench_fig2_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

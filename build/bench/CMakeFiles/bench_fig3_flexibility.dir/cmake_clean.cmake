@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_flexibility.dir/bench_fig3_flexibility.cpp.o"
+  "CMakeFiles/bench_fig3_flexibility.dir/bench_fig3_flexibility.cpp.o.d"
+  "bench_fig3_flexibility"
+  "bench_fig3_flexibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_flexibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

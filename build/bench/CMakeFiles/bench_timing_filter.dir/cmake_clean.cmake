@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timing_filter.dir/bench_timing_filter.cpp.o"
+  "CMakeFiles/bench_timing_filter.dir/bench_timing_filter.cpp.o.d"
+  "bench_timing_filter"
+  "bench_timing_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timing_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

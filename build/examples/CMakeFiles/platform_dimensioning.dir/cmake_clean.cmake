@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_dimensioning.dir/platform_dimensioning.cpp.o"
+  "CMakeFiles/platform_dimensioning.dir/platform_dimensioning.cpp.o.d"
+  "platform_dimensioning"
+  "platform_dimensioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_dimensioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/settop_family.dir/settop_family.cpp.o"
+  "CMakeFiles/settop_family.dir/settop_family.cpp.o.d"
+  "settop_family"
+  "settop_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/settop_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("graph")
+subdirs("spec")
+subdirs("activation")
+subdirs("flex")
+subdirs("bind")
+subdirs("sched")
+subdirs("moo")
+subdirs("explore")
+subdirs("gen")
+subdirs("cli")
+subdirs("core")

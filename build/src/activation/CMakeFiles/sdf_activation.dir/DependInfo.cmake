@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/activation/activation_state.cpp" "src/activation/CMakeFiles/sdf_activation.dir/activation_state.cpp.o" "gcc" "src/activation/CMakeFiles/sdf_activation.dir/activation_state.cpp.o.d"
+  "/root/repo/src/activation/cover_timeline.cpp" "src/activation/CMakeFiles/sdf_activation.dir/cover_timeline.cpp.o" "gcc" "src/activation/CMakeFiles/sdf_activation.dir/cover_timeline.cpp.o.d"
+  "/root/repo/src/activation/timeline.cpp" "src/activation/CMakeFiles/sdf_activation.dir/timeline.cpp.o" "gcc" "src/activation/CMakeFiles/sdf_activation.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bind/CMakeFiles/sdf_bind.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sdf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flex/CMakeFiles/sdf_flex.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/sdf_spec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_activation.dir/activation_state.cpp.o"
+  "CMakeFiles/sdf_activation.dir/activation_state.cpp.o.d"
+  "CMakeFiles/sdf_activation.dir/cover_timeline.cpp.o"
+  "CMakeFiles/sdf_activation.dir/cover_timeline.cpp.o.d"
+  "CMakeFiles/sdf_activation.dir/timeline.cpp.o"
+  "CMakeFiles/sdf_activation.dir/timeline.cpp.o.d"
+  "libsdf_activation.a"
+  "libsdf_activation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_activation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

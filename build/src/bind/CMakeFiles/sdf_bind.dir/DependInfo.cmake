@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bind/binding.cpp" "src/bind/CMakeFiles/sdf_bind.dir/binding.cpp.o" "gcc" "src/bind/CMakeFiles/sdf_bind.dir/binding.cpp.o.d"
+  "/root/repo/src/bind/eca.cpp" "src/bind/CMakeFiles/sdf_bind.dir/eca.cpp.o" "gcc" "src/bind/CMakeFiles/sdf_bind.dir/eca.cpp.o.d"
+  "/root/repo/src/bind/enumerate.cpp" "src/bind/CMakeFiles/sdf_bind.dir/enumerate.cpp.o" "gcc" "src/bind/CMakeFiles/sdf_bind.dir/enumerate.cpp.o.d"
+  "/root/repo/src/bind/implementation.cpp" "src/bind/CMakeFiles/sdf_bind.dir/implementation.cpp.o" "gcc" "src/bind/CMakeFiles/sdf_bind.dir/implementation.cpp.o.d"
+  "/root/repo/src/bind/solver.cpp" "src/bind/CMakeFiles/sdf_bind.dir/solver.cpp.o" "gcc" "src/bind/CMakeFiles/sdf_bind.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flex/CMakeFiles/sdf_flex.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/sdf_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sdf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_bind.dir/binding.cpp.o"
+  "CMakeFiles/sdf_bind.dir/binding.cpp.o.d"
+  "CMakeFiles/sdf_bind.dir/eca.cpp.o"
+  "CMakeFiles/sdf_bind.dir/eca.cpp.o.d"
+  "CMakeFiles/sdf_bind.dir/enumerate.cpp.o"
+  "CMakeFiles/sdf_bind.dir/enumerate.cpp.o.d"
+  "CMakeFiles/sdf_bind.dir/implementation.cpp.o"
+  "CMakeFiles/sdf_bind.dir/implementation.cpp.o.d"
+  "CMakeFiles/sdf_bind.dir/solver.cpp.o"
+  "CMakeFiles/sdf_bind.dir/solver.cpp.o.d"
+  "libsdf_bind.a"
+  "libsdf_bind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_bind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

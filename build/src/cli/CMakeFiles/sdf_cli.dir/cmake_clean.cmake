@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_cli.dir/cli.cpp.o"
+  "CMakeFiles/sdf_cli.dir/cli.cpp.o.d"
+  "libsdf_cli.a"
+  "libsdf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

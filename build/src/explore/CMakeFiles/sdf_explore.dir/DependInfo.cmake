@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explore/allocation_enum.cpp" "src/explore/CMakeFiles/sdf_explore.dir/allocation_enum.cpp.o" "gcc" "src/explore/CMakeFiles/sdf_explore.dir/allocation_enum.cpp.o.d"
+  "/root/repo/src/explore/evolutionary.cpp" "src/explore/CMakeFiles/sdf_explore.dir/evolutionary.cpp.o" "gcc" "src/explore/CMakeFiles/sdf_explore.dir/evolutionary.cpp.o.d"
+  "/root/repo/src/explore/exhaustive.cpp" "src/explore/CMakeFiles/sdf_explore.dir/exhaustive.cpp.o" "gcc" "src/explore/CMakeFiles/sdf_explore.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/explore/explorer.cpp" "src/explore/CMakeFiles/sdf_explore.dir/explorer.cpp.o" "gcc" "src/explore/CMakeFiles/sdf_explore.dir/explorer.cpp.o.d"
+  "/root/repo/src/explore/incremental.cpp" "src/explore/CMakeFiles/sdf_explore.dir/incremental.cpp.o" "gcc" "src/explore/CMakeFiles/sdf_explore.dir/incremental.cpp.o.d"
+  "/root/repo/src/explore/queries.cpp" "src/explore/CMakeFiles/sdf_explore.dir/queries.cpp.o" "gcc" "src/explore/CMakeFiles/sdf_explore.dir/queries.cpp.o.d"
+  "/root/repo/src/explore/report.cpp" "src/explore/CMakeFiles/sdf_explore.dir/report.cpp.o" "gcc" "src/explore/CMakeFiles/sdf_explore.dir/report.cpp.o.d"
+  "/root/repo/src/explore/sensitivity.cpp" "src/explore/CMakeFiles/sdf_explore.dir/sensitivity.cpp.o" "gcc" "src/explore/CMakeFiles/sdf_explore.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/explore/uncertain.cpp" "src/explore/CMakeFiles/sdf_explore.dir/uncertain.cpp.o" "gcc" "src/explore/CMakeFiles/sdf_explore.dir/uncertain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bind/CMakeFiles/sdf_bind.dir/DependInfo.cmake"
+  "/root/repo/build/src/flex/CMakeFiles/sdf_flex.dir/DependInfo.cmake"
+  "/root/repo/build/src/moo/CMakeFiles/sdf_moo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sdf_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/sdf_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sdf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/activation/CMakeFiles/sdf_activation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

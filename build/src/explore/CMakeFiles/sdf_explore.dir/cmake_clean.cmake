@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_explore.dir/allocation_enum.cpp.o"
+  "CMakeFiles/sdf_explore.dir/allocation_enum.cpp.o.d"
+  "CMakeFiles/sdf_explore.dir/evolutionary.cpp.o"
+  "CMakeFiles/sdf_explore.dir/evolutionary.cpp.o.d"
+  "CMakeFiles/sdf_explore.dir/exhaustive.cpp.o"
+  "CMakeFiles/sdf_explore.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/sdf_explore.dir/explorer.cpp.o"
+  "CMakeFiles/sdf_explore.dir/explorer.cpp.o.d"
+  "CMakeFiles/sdf_explore.dir/incremental.cpp.o"
+  "CMakeFiles/sdf_explore.dir/incremental.cpp.o.d"
+  "CMakeFiles/sdf_explore.dir/queries.cpp.o"
+  "CMakeFiles/sdf_explore.dir/queries.cpp.o.d"
+  "CMakeFiles/sdf_explore.dir/report.cpp.o"
+  "CMakeFiles/sdf_explore.dir/report.cpp.o.d"
+  "CMakeFiles/sdf_explore.dir/sensitivity.cpp.o"
+  "CMakeFiles/sdf_explore.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/sdf_explore.dir/uncertain.cpp.o"
+  "CMakeFiles/sdf_explore.dir/uncertain.cpp.o.d"
+  "libsdf_explore.a"
+  "libsdf_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_flex.dir/activatability.cpp.o"
+  "CMakeFiles/sdf_flex.dir/activatability.cpp.o.d"
+  "CMakeFiles/sdf_flex.dir/flexibility.cpp.o"
+  "CMakeFiles/sdf_flex.dir/flexibility.cpp.o.d"
+  "CMakeFiles/sdf_flex.dir/interchange.cpp.o"
+  "CMakeFiles/sdf_flex.dir/interchange.cpp.o.d"
+  "CMakeFiles/sdf_flex.dir/reduce.cpp.o"
+  "CMakeFiles/sdf_flex.dir/reduce.cpp.o.d"
+  "libsdf_flex.a"
+  "libsdf_flex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_flex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

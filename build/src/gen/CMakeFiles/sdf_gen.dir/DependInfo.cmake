@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/presets.cpp" "src/gen/CMakeFiles/sdf_gen.dir/presets.cpp.o" "gcc" "src/gen/CMakeFiles/sdf_gen.dir/presets.cpp.o.d"
+  "/root/repo/src/gen/spec_generator.cpp" "src/gen/CMakeFiles/sdf_gen.dir/spec_generator.cpp.o" "gcc" "src/gen/CMakeFiles/sdf_gen.dir/spec_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/sdf_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sdf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

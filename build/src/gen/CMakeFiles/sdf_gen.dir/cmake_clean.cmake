@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_gen.dir/presets.cpp.o"
+  "CMakeFiles/sdf_gen.dir/presets.cpp.o.d"
+  "CMakeFiles/sdf_gen.dir/spec_generator.cpp.o"
+  "CMakeFiles/sdf_gen.dir/spec_generator.cpp.o.d"
+  "libsdf_gen.a"
+  "libsdf_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dot.cpp" "src/graph/CMakeFiles/sdf_graph.dir/dot.cpp.o" "gcc" "src/graph/CMakeFiles/sdf_graph.dir/dot.cpp.o.d"
+  "/root/repo/src/graph/filter.cpp" "src/graph/CMakeFiles/sdf_graph.dir/filter.cpp.o" "gcc" "src/graph/CMakeFiles/sdf_graph.dir/filter.cpp.o.d"
+  "/root/repo/src/graph/flatten.cpp" "src/graph/CMakeFiles/sdf_graph.dir/flatten.cpp.o" "gcc" "src/graph/CMakeFiles/sdf_graph.dir/flatten.cpp.o.d"
+  "/root/repo/src/graph/hierarchical_graph.cpp" "src/graph/CMakeFiles/sdf_graph.dir/hierarchical_graph.cpp.o" "gcc" "src/graph/CMakeFiles/sdf_graph.dir/hierarchical_graph.cpp.o.d"
+  "/root/repo/src/graph/traversal.cpp" "src/graph/CMakeFiles/sdf_graph.dir/traversal.cpp.o" "gcc" "src/graph/CMakeFiles/sdf_graph.dir/traversal.cpp.o.d"
+  "/root/repo/src/graph/validate.cpp" "src/graph/CMakeFiles/sdf_graph.dir/validate.cpp.o" "gcc" "src/graph/CMakeFiles/sdf_graph.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_graph.dir/dot.cpp.o"
+  "CMakeFiles/sdf_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/sdf_graph.dir/filter.cpp.o"
+  "CMakeFiles/sdf_graph.dir/filter.cpp.o.d"
+  "CMakeFiles/sdf_graph.dir/flatten.cpp.o"
+  "CMakeFiles/sdf_graph.dir/flatten.cpp.o.d"
+  "CMakeFiles/sdf_graph.dir/hierarchical_graph.cpp.o"
+  "CMakeFiles/sdf_graph.dir/hierarchical_graph.cpp.o.d"
+  "CMakeFiles/sdf_graph.dir/traversal.cpp.o"
+  "CMakeFiles/sdf_graph.dir/traversal.cpp.o.d"
+  "CMakeFiles/sdf_graph.dir/validate.cpp.o"
+  "CMakeFiles/sdf_graph.dir/validate.cpp.o.d"
+  "libsdf_graph.a"
+  "libsdf_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

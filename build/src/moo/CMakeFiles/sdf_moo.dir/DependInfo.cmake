@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moo/indicators.cpp" "src/moo/CMakeFiles/sdf_moo.dir/indicators.cpp.o" "gcc" "src/moo/CMakeFiles/sdf_moo.dir/indicators.cpp.o.d"
+  "/root/repo/src/moo/interval.cpp" "src/moo/CMakeFiles/sdf_moo.dir/interval.cpp.o" "gcc" "src/moo/CMakeFiles/sdf_moo.dir/interval.cpp.o.d"
+  "/root/repo/src/moo/knee.cpp" "src/moo/CMakeFiles/sdf_moo.dir/knee.cpp.o" "gcc" "src/moo/CMakeFiles/sdf_moo.dir/knee.cpp.o.d"
+  "/root/repo/src/moo/pareto.cpp" "src/moo/CMakeFiles/sdf_moo.dir/pareto.cpp.o" "gcc" "src/moo/CMakeFiles/sdf_moo.dir/pareto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

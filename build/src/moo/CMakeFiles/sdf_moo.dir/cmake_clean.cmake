@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_moo.dir/indicators.cpp.o"
+  "CMakeFiles/sdf_moo.dir/indicators.cpp.o.d"
+  "CMakeFiles/sdf_moo.dir/interval.cpp.o"
+  "CMakeFiles/sdf_moo.dir/interval.cpp.o.d"
+  "CMakeFiles/sdf_moo.dir/knee.cpp.o"
+  "CMakeFiles/sdf_moo.dir/knee.cpp.o.d"
+  "CMakeFiles/sdf_moo.dir/pareto.cpp.o"
+  "CMakeFiles/sdf_moo.dir/pareto.cpp.o.d"
+  "libsdf_moo.a"
+  "libsdf_moo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_moo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

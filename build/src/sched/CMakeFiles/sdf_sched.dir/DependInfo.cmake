@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/list_scheduler.cpp" "src/sched/CMakeFiles/sdf_sched.dir/list_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/sdf_sched.dir/list_scheduler.cpp.o.d"
+  "/root/repo/src/sched/profile.cpp" "src/sched/CMakeFiles/sdf_sched.dir/profile.cpp.o" "gcc" "src/sched/CMakeFiles/sdf_sched.dir/profile.cpp.o.d"
+  "/root/repo/src/sched/quasi_static.cpp" "src/sched/CMakeFiles/sdf_sched.dir/quasi_static.cpp.o" "gcc" "src/sched/CMakeFiles/sdf_sched.dir/quasi_static.cpp.o.d"
+  "/root/repo/src/sched/reconfig.cpp" "src/sched/CMakeFiles/sdf_sched.dir/reconfig.cpp.o" "gcc" "src/sched/CMakeFiles/sdf_sched.dir/reconfig.cpp.o.d"
+  "/root/repo/src/sched/rm.cpp" "src/sched/CMakeFiles/sdf_sched.dir/rm.cpp.o" "gcc" "src/sched/CMakeFiles/sdf_sched.dir/rm.cpp.o.d"
+  "/root/repo/src/sched/utilization.cpp" "src/sched/CMakeFiles/sdf_sched.dir/utilization.cpp.o" "gcc" "src/sched/CMakeFiles/sdf_sched.dir/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/activation/CMakeFiles/sdf_activation.dir/DependInfo.cmake"
+  "/root/repo/build/src/bind/CMakeFiles/sdf_bind.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/sdf_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sdf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flex/CMakeFiles/sdf_flex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

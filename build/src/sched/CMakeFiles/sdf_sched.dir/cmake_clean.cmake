@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_sched.dir/list_scheduler.cpp.o"
+  "CMakeFiles/sdf_sched.dir/list_scheduler.cpp.o.d"
+  "CMakeFiles/sdf_sched.dir/profile.cpp.o"
+  "CMakeFiles/sdf_sched.dir/profile.cpp.o.d"
+  "CMakeFiles/sdf_sched.dir/quasi_static.cpp.o"
+  "CMakeFiles/sdf_sched.dir/quasi_static.cpp.o.d"
+  "CMakeFiles/sdf_sched.dir/reconfig.cpp.o"
+  "CMakeFiles/sdf_sched.dir/reconfig.cpp.o.d"
+  "CMakeFiles/sdf_sched.dir/rm.cpp.o"
+  "CMakeFiles/sdf_sched.dir/rm.cpp.o.d"
+  "CMakeFiles/sdf_sched.dir/utilization.cpp.o"
+  "CMakeFiles/sdf_sched.dir/utilization.cpp.o.d"
+  "libsdf_sched.a"
+  "libsdf_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/builder.cpp" "src/spec/CMakeFiles/sdf_spec.dir/builder.cpp.o" "gcc" "src/spec/CMakeFiles/sdf_spec.dir/builder.cpp.o.d"
+  "/root/repo/src/spec/paper_models.cpp" "src/spec/CMakeFiles/sdf_spec.dir/paper_models.cpp.o" "gcc" "src/spec/CMakeFiles/sdf_spec.dir/paper_models.cpp.o.d"
+  "/root/repo/src/spec/spec_dot.cpp" "src/spec/CMakeFiles/sdf_spec.dir/spec_dot.cpp.o" "gcc" "src/spec/CMakeFiles/sdf_spec.dir/spec_dot.cpp.o.d"
+  "/root/repo/src/spec/spec_io.cpp" "src/spec/CMakeFiles/sdf_spec.dir/spec_io.cpp.o" "gcc" "src/spec/CMakeFiles/sdf_spec.dir/spec_io.cpp.o.d"
+  "/root/repo/src/spec/specification.cpp" "src/spec/CMakeFiles/sdf_spec.dir/specification.cpp.o" "gcc" "src/spec/CMakeFiles/sdf_spec.dir/specification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sdf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

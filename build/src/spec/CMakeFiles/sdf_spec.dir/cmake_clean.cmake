@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_spec.dir/builder.cpp.o"
+  "CMakeFiles/sdf_spec.dir/builder.cpp.o.d"
+  "CMakeFiles/sdf_spec.dir/paper_models.cpp.o"
+  "CMakeFiles/sdf_spec.dir/paper_models.cpp.o.d"
+  "CMakeFiles/sdf_spec.dir/spec_dot.cpp.o"
+  "CMakeFiles/sdf_spec.dir/spec_dot.cpp.o.d"
+  "CMakeFiles/sdf_spec.dir/spec_io.cpp.o"
+  "CMakeFiles/sdf_spec.dir/spec_io.cpp.o.d"
+  "CMakeFiles/sdf_spec.dir/specification.cpp.o"
+  "CMakeFiles/sdf_spec.dir/specification.cpp.o.d"
+  "libsdf_spec.a"
+  "libsdf_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_util.dir/dyn_bitset.cpp.o"
+  "CMakeFiles/sdf_util.dir/dyn_bitset.cpp.o.d"
+  "CMakeFiles/sdf_util.dir/flags.cpp.o"
+  "CMakeFiles/sdf_util.dir/flags.cpp.o.d"
+  "CMakeFiles/sdf_util.dir/json.cpp.o"
+  "CMakeFiles/sdf_util.dir/json.cpp.o.d"
+  "CMakeFiles/sdf_util.dir/log.cpp.o"
+  "CMakeFiles/sdf_util.dir/log.cpp.o.d"
+  "CMakeFiles/sdf_util.dir/rng.cpp.o"
+  "CMakeFiles/sdf_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sdf_util.dir/strings.cpp.o"
+  "CMakeFiles/sdf_util.dir/strings.cpp.o.d"
+  "CMakeFiles/sdf_util.dir/table.cpp.o"
+  "CMakeFiles/sdf_util.dir/table.cpp.o.d"
+  "libsdf_util.a"
+  "libsdf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/graph_test.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/sdf_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/sdf_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/sdf_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/moo/CMakeFiles/sdf_moo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sdf_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/activation/CMakeFiles/sdf_activation.dir/DependInfo.cmake"
+  "/root/repo/build/src/bind/CMakeFiles/sdf_bind.dir/DependInfo.cmake"
+  "/root/repo/build/src/flex/CMakeFiles/sdf_flex.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/sdf_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sdf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moo_test.dir/moo_test.cpp.o"
+  "CMakeFiles/moo_test.dir/moo_test.cpp.o.d"
+  "moo_test"
+  "moo_test.pdb"
+  "moo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasi_static_test.dir/quasi_static_test.cpp.o"
+  "CMakeFiles/quasi_static_test.dir/quasi_static_test.cpp.o.d"
+  "quasi_static_test"
+  "quasi_static_test.pdb"
+  "quasi_static_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasi_static_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

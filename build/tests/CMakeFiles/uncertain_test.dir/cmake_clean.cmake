@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncertain_test.dir/uncertain_test.cpp.o"
+  "CMakeFiles/uncertain_test.dir/uncertain_test.cpp.o.d"
+  "uncertain_test"
+  "uncertain_test.pdb"
+  "uncertain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncertain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf.dir/main.cpp.o"
+  "CMakeFiles/sdf.dir/main.cpp.o.d"
+  "sdf"
+  "sdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
