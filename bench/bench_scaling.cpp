@@ -9,6 +9,8 @@
 // wall-clock for EXPLORE, the exhaustive baseline where tractable, and the
 // evolutionary heuristic's quality at equal time budget.
 #include <cmath>
+#include <fstream>
+#include <limits>
 
 #include "bench_common.hpp"
 #include "gen/presets.hpp"
@@ -107,6 +109,85 @@ void print_scaling() {
   std::printf("%s", ea_table.to_ascii().c_str());
 }
 
+void print_parallel_sweep() {
+  bench::section("parallel cost-band engine: threads sweep");
+  // A platform big enough that candidate evaluation dominates wall-clock.
+  GeneratorParams params;
+  params.seed = 23;
+  params.applications = 3;
+  params.processors = 4;
+  params.accelerators = 3;
+  params.fpga_configs = 2;
+  const SpecificationGraph spec = generate_spec(params);
+
+  struct Config {
+    const char* name;
+    ExploreOptions options;
+  };
+  // attempt_dominated: with the flexibility-estimate bound off, every
+  // possible allocation reaches the NP-complete binding construction — the
+  // engine's best case.  paper_default is the §4 configuration as contrast.
+  Config configs[2];
+  configs[0].name = "attempt_dominated";
+  configs[0].options.use_flexibility_bound = false;
+  configs[0].options.stop_at_max_flexibility = false;
+  configs[1].name = "paper_default";
+
+  JsonObject doc;
+  doc.reserve(4);
+  doc.emplace_back("bench", Json("explore_parallel"));
+  doc.emplace_back("spec_units", Json(spec.alloc_units().size()));
+  doc.emplace_back("hardware_threads", Json(ThreadPool::hardware_threads()));
+  JsonArray runs;
+  runs.reserve(8);
+  Table table({"config", "threads", "wall ms", "evaluate ms", "speedup",
+               "front", "attempts"});
+  for (Config& config : configs) {
+    double base_ms = 0.0;
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      config.options.num_threads = threads;
+      ExploreResult result;
+      double wall_ms = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < 3; ++rep) {  // best-of-3 vs scheduler noise
+        ExploreResult r = parallel_explore(spec, config.options);
+        if (r.stats.wall_seconds * 1e3 < wall_ms) {
+          wall_ms = r.stats.wall_seconds * 1e3;
+          result = std::move(r);
+        }
+      }
+      if (threads == 1) base_ms = wall_ms;
+      const double speedup = base_ms / wall_ms;
+      table.add_row({config.name, std::to_string(threads),
+                     format_double(wall_ms, 1),
+                     format_double(result.stats.evaluate_seconds * 1e3, 1),
+                     format_double(speedup, 2),
+                     std::to_string(result.front.size()),
+                     std::to_string(result.stats.implementation_attempts)});
+      JsonObject run{
+          {"config", Json(config.name)},
+          {"threads", Json(threads)},
+          {"wall_seconds", Json(wall_ms / 1e3)},
+          {"speedup_vs_1_thread", Json(speedup)},
+          {"enumerate_seconds", Json(result.stats.enumerate_seconds)},
+          {"evaluate_seconds", Json(result.stats.evaluate_seconds)},
+          {"merge_seconds", Json(result.stats.merge_seconds)},
+          {"bands", Json(static_cast<double>(result.stats.bands))},
+          {"peak_band_size", Json(result.stats.peak_band_size)},
+          {"implementation_attempts",
+           Json(static_cast<double>(result.stats.implementation_attempts))},
+          {"front_size", Json(result.front.size())},
+      };
+      runs.push_back(Json(std::move(run)));
+    }
+  }
+  doc.emplace_back("runs", Json(std::move(runs)));
+  std::ofstream out("BENCH_explore_parallel.json");
+  out << Json(std::move(doc)).dump(2) << '\n';
+  std::printf("%swrote BENCH_explore_parallel.json; speedups are bounded by "
+              "the %zu hardware thread(s) of this machine.\n",
+              table.to_ascii().c_str(), ThreadPool::hardware_threads());
+}
+
 void BM_ExploreSynthetic(benchmark::State& state) {
   const SpecificationGraph spec = generate_spec(
       size_params(static_cast<std::size_t>(state.range(0)), 7));
@@ -135,10 +216,28 @@ void BM_GenerateSpec(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerateSpec)->DenseRange(0, 4);
 
+void BM_ParallelExplore(benchmark::State& state) {
+  GeneratorParams params;
+  params.seed = 23;
+  params.applications = 3;
+  params.processors = 4;
+  params.accelerators = 3;
+  params.fpga_configs = 2;
+  const SpecificationGraph spec = generate_spec(params);
+  ExploreOptions options;
+  options.use_flexibility_bound = false;
+  options.stop_at_max_flexibility = false;
+  options.num_threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(parallel_explore(spec, options));
+}
+BENCHMARK(BM_ParallelExplore)->Arg(1)->Arg(2)->Arg(4);
+
 }  // namespace
 }  // namespace sdf
 
 int main(int argc, char** argv) {
   sdf::print_scaling();
+  sdf::print_parallel_sweep();
   return sdf::bench::run_benchmarks(argc, argv);
 }

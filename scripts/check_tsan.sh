@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Data-race check for the parallel EXPLORE engine: builds the concurrency-
+# relevant tests with ThreadSanitizer in a dedicated tree (sanitizers need
+# whole-program instrumentation) and runs them.
+#
+#   scripts/check_tsan.sh            # -fsanitize=thread
+#   SDF_SANITIZE=address scripts/check_tsan.sh   # AddressSanitizer instead
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZER="${SDF_SANITIZE:-thread}"
+BUILD="build-${SANITIZER}san"
+TESTS=(util_test explore_test bind_test parallel_explore_test)
+
+cmake -B "$BUILD" -DSDF_SANITIZE="$SANITIZER"
+cmake --build "$BUILD" --target "${TESTS[@]}" -j "$(nproc)"
+
+for t in "${TESTS[@]}"; do
+  echo "==================== $t (${SANITIZER}san) ===================="
+  "$BUILD/tests/$t"
+done
+echo "SANITIZER CHECKS PASSED (${SANITIZER})"

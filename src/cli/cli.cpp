@@ -6,6 +6,7 @@
 #include "explore/evolutionary.hpp"
 #include "explore/explorer.hpp"
 #include "explore/incremental.hpp"
+#include "explore/parallel_explorer.hpp"
 #include "explore/queries.hpp"
 #include "explore/report.hpp"
 #include "explore/sensitivity.hpp"
@@ -112,6 +113,9 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
   flags.define_bool("stats", true, "print exploration statistics");
   flags.define_bool("evolutionary", false, "use the heuristic EA explorer");
   flags.define("seed", "1", "EA seed");
+  flags.define("threads", "1",
+               "evaluation threads (0 = one per hardware thread); any value "
+               "other than 1 selects the parallel cost-band engine");
   if (Status s = flags.parse(raw); !s.ok()) {
     err << s.error().message << "\nflags:\n" << flags.usage();
     return 2;
@@ -142,15 +146,27 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
   options.use_flexibility_bound = flags.get_bool("flex-bound");
   options.use_branch_bound = flags.get_bool("branch-bound");
   options.collect_equivalents = flags.get_bool("equivalents");
+  const int threads = flags.get_int("threads");
+  if (threads < 0) {
+    err << "--threads must be >= 0\n";
+    return 2;
+  }
+  options.num_threads = static_cast<std::size_t>(threads);
+  // Both engines produce bit-identical fronts; 1 thread keeps the classic
+  // single-loop engine (no band machinery at all).
+  const auto run_explore = [&options](const SpecificationGraph& s) {
+    return options.num_threads == 1 ? explore(s, options)
+                                    : parallel_explore(s, options);
+  };
 
   if (flags.get_bool("json") && !flags.get_bool("evolutionary")) {
-    const ExploreResult result = explore(spec.value(), options);
+    const ExploreResult result = run_explore(spec.value());
     out << explore_result_to_json(spec.value(), result).dump(2) << '\n';
     return 0;
   }
 
   if (!flags.get("budget").empty() || !flags.get("target-f").empty()) {
-    const ExploreResult result = explore(spec.value(), options);
+    const ExploreResult result = run_explore(spec.value());
     if (!flags.get("budget").empty()) {
       const double budget = flags.get_double("budget");
       if (const Implementation* best =
@@ -191,7 +207,7 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
     front = result.front;
     f_max = max_flexibility(spec.value().problem());
   } else {
-    ExploreResult result = explore(spec.value(), options);
+    ExploreResult result = run_explore(spec.value());
     front = std::move(result.front);
     stats = result.stats;
     f_max = result.max_flexibility;

@@ -36,6 +36,7 @@
 #include "explore/exhaustive.hpp"
 #include "explore/explorer.hpp"
 #include "explore/incremental.hpp"
+#include "explore/parallel_explorer.hpp"
 #include "explore/queries.hpp"
 #include "explore/report.hpp"
 #include "explore/sensitivity.hpp"
@@ -72,3 +73,4 @@
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"

@@ -30,7 +30,9 @@ AllocSet CostOrderedAllocations::to_set(
 
 std::optional<AllocSet> CostOrderedAllocations::next() {
   if (queue_.empty()) return std::nullopt;
-  const State state = queue_.top();
+  // Move the members vector out instead of copying it; the moved-from slot
+  // is immediately destroyed by pop().
+  State state = std::move(const_cast<State&>(queue_.top()));
   queue_.pop();
 
   // Expand: children add one unit with an index above the last added one.
@@ -54,6 +56,7 @@ std::optional<AllocSet> CostOrderedAllocations::next() {
       if (unit_cost_[j] < 0.0) continue;  // already in the frozen base
       State child;
       child.cost = state.cost + unit_cost_[j];
+      child.members.reserve(state.members.size() + 1);
       child.members = state.members;
       child.members.push_back(j);
       child.max_index = j;
@@ -65,8 +68,37 @@ std::optional<AllocSet> CostOrderedAllocations::next() {
   return to_set(state.members);
 }
 
+DominanceContext::DominanceContext(const SpecificationGraph& spec) {
+  const auto& units = spec.alloc_units();
+  const HierarchicalGraph& arch = spec.architecture();
+
+  // Which units can any problem leaf map to at all?  One scan of the
+  // mapping edges, shared by every candidate.
+  mappable_unit = DynBitset(units.size());
+  for (const MappingEdge& m : spec.mappings()) {
+    const AllocUnitId u = spec.unit_of_resource(m.resource);
+    if (u.valid()) mappable_unit.set(u.index());
+  }
+
+  // Deduplicated architecture neighborhood of each comm unit's top node.
+  neighbor_tops.resize(units.size());
+  for (const AllocUnit& u : units) {
+    if (!u.is_comm) continue;
+    std::vector<NodeId>& neighbors = neighbor_tops[u.id.index()];
+    DynBitset seen(arch.node_count());
+    auto visit = [&](NodeId other) {
+      if (seen.test(other.index())) return;
+      seen.set(other.index());
+      neighbors.push_back(other);
+    };
+    for (EdgeId eid : arch.node(u.top).out_edges) visit(arch.edge(eid).to);
+    for (EdgeId eid : arch.node(u.top).in_edges) visit(arch.edge(eid).from);
+  }
+}
+
 bool obviously_dominated(const SpecificationGraph& spec,
-                         const AllocSet& alloc, const AllocSet* scope) {
+                         const DominanceContext& ctx, const AllocSet& alloc,
+                         const AllocSet* scope) {
   const auto& units = spec.alloc_units();
   const HierarchicalGraph& arch = spec.architecture();
 
@@ -75,14 +107,6 @@ bool obviously_dominated(const SpecificationGraph& spec,
   alloc.for_each([&](std::size_t i) {
     if (!units[i].is_comm) functional_tops.set(units[i].top.index());
   });
-
-  // Which problem leaves can map to each unit at all?
-  // (Precomputing per call is fine: the filter runs once per candidate.)
-  DynBitset mappable_unit(units.size());
-  for (const MappingEdge& m : spec.mappings()) {
-    const AllocUnitId u = spec.unit_of_resource(m.resource);
-    if (u.valid()) mappable_unit.set(u.index());
-  }
 
   bool dominated = false;
   alloc.for_each([&](std::size_t i) {
@@ -93,23 +117,20 @@ bool obviously_dominated(const SpecificationGraph& spec,
       // Dangling bus: fewer than two distinct allocated functional
       // endpoints adjacent by architecture edges.
       std::size_t endpoints = 0;
-      DynBitset seen(arch.node_count());
-      auto visit = [&](NodeId other) {
-        if (seen.test(other.index())) return;
-        seen.set(other.index());
+      for (NodeId other : ctx.neighbor_tops[i])
         if (functional_tops.test(other.index())) ++endpoints;
-      };
-      for (EdgeId eid : arch.node(u.top).out_edges)
-        visit(arch.edge(eid).to);
-      for (EdgeId eid : arch.node(u.top).in_edges)
-        visit(arch.edge(eid).from);
       if (endpoints < 2) dominated = true;
-    } else if (!mappable_unit.test(i)) {
+    } else if (!ctx.mappable_unit.test(i)) {
       // Functional unit no process can ever execute on.
       dominated = true;
     }
   });
   return dominated;
+}
+
+bool obviously_dominated(const SpecificationGraph& spec,
+                         const AllocSet& alloc, const AllocSet* scope) {
+  return obviously_dominated(spec, DominanceContext(spec), alloc, scope);
 }
 
 std::vector<AllocSet> enumerate_possible_allocations(
@@ -120,10 +141,11 @@ std::vector<AllocSet> enumerate_possible_allocations(
             "unit universe too large for eager enumeration");
 
   std::vector<AllocSet> out;
+  const DominanceContext ctx(spec);
   CostOrderedAllocations stream(spec);
   while (std::optional<AllocSet> a = stream.next()) {
     if (a->none()) continue;
-    if (apply_dominance_filter && obviously_dominated(spec, *a)) continue;
+    if (apply_dominance_filter && obviously_dominated(spec, ctx, *a)) continue;
     if (!is_possible_allocation(spec, *a)) continue;
     out.push_back(std::move(*a));
   }

@@ -74,10 +74,34 @@ class CostOrderedAllocations {
   std::uint64_t pruned_ = 0;
 };
 
+/// Allocation-independent inputs of the §5 dominance filter, precomputed
+/// once per specification: which units any process can map to (one scan of
+/// the mapping edges instead of one per candidate), and each unit's
+/// adjacent top-level architecture nodes (the potential bus endpoints).
+/// All exploration engines build one of these up front and reuse it for
+/// every candidate.
+struct DominanceContext {
+  explicit DominanceContext(const SpecificationGraph& spec);
+
+  /// Units at least one problem-graph process can map to.
+  DynBitset mappable_unit;
+  /// Per unit: distinct top-level architecture nodes adjacent to the unit's
+  /// top node by architecture edges (either direction).  Only populated for
+  /// communication units — the only ones the filter inspects adjacency for.
+  std::vector<std::vector<NodeId>> neighbor_tops;
+};
+
 /// §5 dominance filter; see file comment.  When `scope` is non-null only
 /// the units in `scope` are examined (adjacency is always judged in the
 /// full allocation) — the incremental explorer uses this to exempt the
 /// already-deployed platform, which is a sunk cost.
+[[nodiscard]] bool obviously_dominated(const SpecificationGraph& spec,
+                                       const DominanceContext& ctx,
+                                       const AllocSet& alloc,
+                                       const AllocSet* scope = nullptr);
+
+/// Convenience overload that rebuilds the context per call; prefer the
+/// context form anywhere more than one candidate is filtered.
 [[nodiscard]] bool obviously_dominated(const SpecificationGraph& spec,
                                        const AllocSet& alloc,
                                        const AllocSet* scope = nullptr);

@@ -34,6 +34,7 @@ ExploreResult explore(const SpecificationGraph& spec,
   // When collecting equivalents, the search ends after walking through the
   // cost tie of the maximal-flexibility point; -1 = not yet reached.
   double max_tie_cost = -1.0;
+  const DominanceContext dominance(spec);
   CostOrderedAllocations stream(spec);
   if (options.use_branch_bound) {
     stream.set_branch_bound([&, collect = options.collect_equivalents](
@@ -48,16 +49,16 @@ ExploreResult explore(const SpecificationGraph& spec,
   }
 
   while (std::optional<AllocSet> a = stream.next()) {
+    if (a->none()) continue;  // the empty base costs no candidate budget
     ++result.stats.candidates_generated;
     if (options.max_candidates != 0 &&
         result.stats.candidates_generated > options.max_candidates)
       break;
-    if (a->none()) continue;
     if (max_tie_cost >= 0.0 && spec.allocation_cost(*a) > max_tie_cost)
       break;
 
     if (options.prune_dominated_allocations &&
-        obviously_dominated(spec, *a)) {
+        obviously_dominated(spec, dominance, *a)) {
       ++result.stats.dominated_skipped;
       continue;
     }

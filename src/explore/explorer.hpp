@@ -44,8 +44,17 @@ struct ExploreOptions {
   /// `equivalents`.  Costs extra implementation attempts (candidates whose
   /// estimate merely ties the incumbent must be tried too).
   bool collect_equivalents = false;
-  /// Safety cap on generated candidates (0 = unlimited).
+  /// Safety cap on generated candidates (0 = unlimited).  Only non-empty
+  /// candidates count: the stream's empty base allocation is free.
   std::uint64_t max_candidates = 0;
+  /// Worker threads for `parallel_explore` (0 = one per hardware thread).
+  /// Ignored by the sequential `explore`.
+  std::size_t num_threads = 0;
+  /// Band capacity for `parallel_explore`: how many candidates are drained
+  /// from the stream and evaluated concurrently between two deterministic
+  /// merges (0 = auto, scaled from `num_threads`).  Larger bands expose more
+  /// parallelism but evaluate against a staler incumbent.
+  std::size_t band_capacity = 0;
 };
 
 struct ExploreStats {
@@ -62,6 +71,21 @@ struct ExploreStats {
   std::uint64_t branches_pruned = 0;
   bool exhausted = false;              ///< stream ran dry (vs. early stop)
   double wall_seconds = 0.0;
+
+  // ---- parallel-engine extras (zero for the sequential engine) -------------
+  std::size_t threads = 0;             ///< evaluation threads actually used
+  std::uint64_t bands = 0;             ///< cost bands drained and merged
+  std::size_t peak_band_size = 0;      ///< largest band (candidates)
+  /// Per-phase wall-time breakdown of `parallel_explore`.
+  double enumerate_seconds = 0.0;      ///< stream drain + branch bound
+  double evaluate_seconds = 0.0;       ///< concurrent candidate evaluation
+  double merge_seconds = 0.0;          ///< deterministic band merge
+  /// Summed per-worker time inside evaluation, split into the cheap filter
+  /// phases (dominance, activatability, estimate) and the NP-complete
+  /// binding construction.  Their sum divided by `evaluate_seconds`
+  /// approximates the parallel speedup of the evaluation phase.
+  double filter_cpu_seconds = 0.0;
+  double implement_cpu_seconds = 0.0;
 };
 
 struct ExploreResult {

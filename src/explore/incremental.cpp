@@ -26,6 +26,7 @@ UpgradeResult explore_upgrades(const SpecificationGraph& spec,
   }
 
   double f_cur = result.baseline_flexibility;
+  const DominanceContext dominance(spec);
   CostOrderedAllocations stream(spec, existing);
   if (options.use_branch_bound) {
     stream.set_branch_bound([&](const AllocSet& potential) {
@@ -36,18 +37,18 @@ UpgradeResult explore_upgrades(const SpecificationGraph& spec,
   }
 
   while (std::optional<AllocSet> a = stream.next()) {
+    if (*a == existing) continue;  // the baseline itself costs no budget
     ++result.stats.candidates_generated;
     if (options.max_candidates != 0 &&
         result.stats.candidates_generated > options.max_candidates)
       break;
-    if (*a == existing) continue;  // the baseline itself
 
     if (options.prune_dominated_allocations) {
       // Only judge the *added* units: the deployed platform is a sunk cost
       // and may legitimately contain resources the upgrade does not use.
       AllocSet added = *a;
       added -= existing;
-      if (obviously_dominated(spec, *a, &added)) {
+      if (obviously_dominated(spec, dominance, *a, &added)) {
         ++result.stats.dominated_skipped;
         continue;
       }

@@ -1,0 +1,288 @@
+#include "explore/parallel_explorer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "explore/allocation_enum.hpp"
+#include "flex/activatability.hpp"
+#include "flex/flexibility.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sdf {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Monotone shared maximum (flexibilities are non-negative).
+class AtomicMax {
+ public:
+  void update(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_release,
+                          std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double get() const {
+    return value_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// One band slot: the candidate, its evaluation outcome, and the work
+/// counters accumulated while evaluating it (reduced into ExploreStats on
+/// the merge thread — workers never touch shared stats).
+struct BandCandidate {
+  AllocSet alloc;
+  double cost = 0.0;
+  std::size_t level = 0;  ///< contiguous equal-cost group within the band
+  std::optional<Implementation> impl;
+
+  std::uint64_t dominated_skipped = 0;
+  std::uint64_t possible_allocations = 0;
+  std::uint64_t flexibility_estimations = 0;
+  std::uint64_t bound_skipped = 0;
+  std::uint64_t implementation_attempts = 0;
+  std::uint64_t solver_calls = 0;
+  std::uint64_t solver_nodes = 0;
+  double filter_seconds = 0.0;
+  double implement_seconds = 0.0;
+};
+
+/// The per-candidate work of the sequential engine's loop body, minus every
+/// front/incumbent mutation (those happen at merge).  `committed_f` is the
+/// incumbent after the last merged band; `level_best` shares implemented
+/// flexibilities between concurrent workers, per cost level.
+void evaluate_candidate(const SpecificationGraph& spec,
+                        const ExploreOptions& options,
+                        const DominanceContext& dominance, double committed_f,
+                        std::vector<AtomicMax>& level_best,
+                        BandCandidate& cand) {
+  const auto t0 = Clock::now();
+  if (options.prune_dominated_allocations &&
+      obviously_dominated(spec, dominance, cand.alloc)) {
+    ++cand.dominated_skipped;
+    cand.filter_seconds = seconds_since(t0);
+    return;
+  }
+  const Activatability act(spec, cand.alloc);
+  if (!act.root_activatable()) {
+    cand.filter_seconds = seconds_since(t0);
+    return;
+  }
+  ++cand.possible_allocations;
+  const std::optional<double> est = act.estimated_flexibility();
+  ++cand.flexibility_estimations;
+  SDF_CHECK(est.has_value(), "possible allocation without estimate");
+
+  if (options.use_flexibility_bound) {
+    // Everything that precedes this candidate's cost level in stream order
+    // (merged bands, lower levels of this band) bounds it the same way the
+    // sequential incumbent would — the sequential f_cur at this candidate
+    // is at least as large as any value read here.
+    double preceding = committed_f;
+    for (std::size_t l = 0; l < cand.level; ++l)
+      preceding = std::max(preceding, level_best[l].get());
+    const bool below_preceding =
+        options.collect_equivalents ? *est < preceding : *est <= preceding;
+    // Within the own (equal-cost) level the comparison must stay strict in
+    // both modes: a sibling implementation with strictly higher flexibility
+    // pops this cost from the front at merge whatever the stream order, but
+    // a tie must survive (it may be the sequential winner or an equivalent).
+    const bool below_level = *est < level_best[cand.level].get();
+    if (below_preceding || below_level) {
+      ++cand.bound_skipped;
+      cand.filter_seconds = seconds_since(t0);
+      return;
+    }
+  }
+  cand.filter_seconds = seconds_since(t0);
+
+  const auto t1 = Clock::now();
+  ++cand.implementation_attempts;
+  ImplementationStats istats;
+  std::optional<Implementation> impl =
+      build_implementation(spec, cand.alloc, options.implementation, &istats);
+  cand.solver_calls = istats.solver_calls;
+  cand.solver_nodes = istats.solver_nodes;
+  cand.implement_seconds = seconds_since(t1);
+  if (!impl.has_value()) return;
+  level_best[cand.level].update(impl->flexibility);
+  cand.impl = std::move(*impl);
+}
+
+}  // namespace
+
+ExploreResult parallel_explore(const SpecificationGraph& spec,
+                               const ExploreOptions& options) {
+  const auto t0 = Clock::now();
+
+  const std::size_t threads = options.num_threads != 0
+                                  ? options.num_threads
+                                  : ThreadPool::hardware_threads();
+  const std::size_t capacity =
+      options.band_capacity != 0 ? options.band_capacity
+                                 : std::max<std::size_t>(threads * 8, 16);
+
+  ExploreResult result;
+  result.max_flexibility = max_flexibility(spec.problem());
+  // Also warms the spec's lazy unit cache before any worker reads it.
+  result.stats.universe = spec.alloc_units().size();
+  result.stats.raw_design_points =
+      std::pow(2.0, static_cast<double>(result.stats.universe));
+  result.stats.threads = threads;
+
+  double f_cur = 0.0;          // committed incumbent: merged candidates only
+  double max_tie_cost = -1.0;  // collect_equivalents end-of-search tie cost
+
+  const DominanceContext dominance(spec);
+  CostOrderedAllocations stream(spec);
+  if (options.use_branch_bound) {
+    // Runs on the merge thread during band assembly, against the committed
+    // incumbent — a (possibly stale) lower bound on the sequential f_cur at
+    // the same stream position, so it can only prune less, never wrongly.
+    stream.set_branch_bound([&, collect = options.collect_equivalents](
+                                const AllocSet& potential) {
+      if (f_cur <= 0.0) return true;
+      const std::optional<double> est = estimate_flexibility(spec, potential);
+      if (!est.has_value()) return false;
+      return collect ? *est >= f_cur : *est > f_cur;
+    });
+  }
+
+  // The merge thread helps evaluate via ThreadPool::wait_idle, so the pool
+  // holds one worker fewer than the requested thread count.
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads - 1);
+
+  std::vector<BandCandidate> band;
+  band.reserve(capacity);
+  bool done = false;       // merge decided the search is over
+  bool last_band = false;  // stream dry / candidate budget exhausted
+  while (!done && !last_band) {
+    // ---- assemble: drain candidates in stream order into one band --------
+    const auto ta = Clock::now();
+    band.clear();
+    std::size_t levels = 0;
+    while (band.size() < capacity) {
+      std::optional<AllocSet> a = stream.next();
+      if (!a.has_value()) {
+        last_band = true;
+        break;
+      }
+      if (a->none()) continue;  // the empty base costs no candidate budget
+      ++result.stats.candidates_generated;
+      if (options.max_candidates != 0 &&
+          result.stats.candidates_generated > options.max_candidates) {
+        last_band = true;
+        break;
+      }
+      const double cost = spec.allocation_cost(*a);
+      if (max_tie_cost >= 0.0 && cost > max_tie_cost) {
+        last_band = true;
+        break;
+      }
+      BandCandidate cand;
+      cand.alloc = std::move(*a);
+      cand.cost = cost;
+      // Levels group *consecutive* equal-cost candidates; the incumbent-
+      // sharing rules in evaluate_candidate rely on every lower level
+      // preceding this one in stream order.
+      if (band.empty() || cand.cost != band.back().cost) ++levels;
+      cand.level = levels - 1;
+      band.push_back(std::move(cand));
+    }
+    result.stats.enumerate_seconds += seconds_since(ta);
+    if (band.empty()) break;
+    ++result.stats.bands;
+    result.stats.peak_band_size =
+        std::max(result.stats.peak_band_size, band.size());
+
+    // ---- evaluate: all candidates of the band, concurrently --------------
+    const auto te = Clock::now();
+    std::vector<AtomicMax> level_best(levels);
+    const double committed = f_cur;
+    if (pool.has_value()) {
+      pool->parallel_for(band.size(), [&](std::size_t i) {
+        evaluate_candidate(spec, options, dominance, committed, level_best,
+                           band[i]);
+      });
+    } else {
+      for (BandCandidate& cand : band)
+        evaluate_candidate(spec, options, dominance, committed, level_best,
+                           cand);
+    }
+    result.stats.evaluate_seconds += seconds_since(te);
+
+    // ---- merge: stream order, exactly the sequential acceptance rules ----
+    const auto tm = Clock::now();
+    for (BandCandidate& cand : band) {
+      result.stats.dominated_skipped += cand.dominated_skipped;
+      result.stats.possible_allocations += cand.possible_allocations;
+      result.stats.flexibility_estimations += cand.flexibility_estimations;
+      result.stats.bound_skipped += cand.bound_skipped;
+      result.stats.implementation_attempts += cand.implementation_attempts;
+      result.stats.solver_calls += cand.solver_calls;
+      result.stats.solver_nodes += cand.solver_nodes;
+      result.stats.filter_cpu_seconds += cand.filter_seconds;
+      result.stats.implement_cpu_seconds += cand.implement_seconds;
+    }
+    for (BandCandidate& cand : band) {
+      if (done) break;
+      if (max_tie_cost >= 0.0 && cand.cost > max_tie_cost) {
+        done = true;
+        break;
+      }
+      if (!cand.impl.has_value()) continue;
+      Implementation impl = std::move(*cand.impl);
+      if (impl.flexibility <= f_cur) {
+        if (options.collect_equivalents && !result.front.empty() &&
+            impl.flexibility == f_cur &&
+            impl.cost == result.front.back().cost &&
+            !(impl.units == result.front.back().units)) {
+          result.front.back().equivalents.push_back(std::move(impl));
+        }
+        continue;
+      }
+      while (!result.front.empty() &&
+             result.front.back().cost >= impl.cost) {
+        result.front.pop_back();
+      }
+      log_debug(strprintf("EXPLORE[par]: new Pareto point cost=%s f=%s (%s)",
+                          format_double(impl.cost).c_str(),
+                          format_double(impl.flexibility).c_str(),
+                          spec.allocation_names(impl.units).c_str()));
+      f_cur = impl.flexibility;
+      result.front.push_back(std::move(impl));
+
+      if (options.stop_at_max_flexibility &&
+          f_cur >= result.max_flexibility - 1e-9) {
+        if (!options.collect_equivalents) {
+          done = true;
+          break;
+        }
+        max_tie_cost = result.front.back().cost;
+      }
+    }
+    result.stats.merge_seconds += seconds_since(tm);
+  }
+  result.stats.exhausted = !options.stop_at_max_flexibility ||
+                           f_cur < result.max_flexibility - 1e-9;
+  result.stats.branches_pruned = stream.pruned();
+  result.stats.wall_seconds = seconds_since(t0);
+  return result;
+}
+
+}  // namespace sdf

@@ -58,6 +58,21 @@ Json explore_result_to_json(const SpecificationGraph& spec,
   stats.emplace_back("solver_calls",
                      Json(static_cast<double>(result.stats.solver_calls)));
   stats.emplace_back("wall_seconds", Json(result.stats.wall_seconds));
+  if (result.stats.threads != 0) {
+    // Parallel-engine extras: band shape and the per-phase time breakdown.
+    stats.emplace_back("threads", Json(result.stats.threads));
+    stats.emplace_back("bands",
+                       Json(static_cast<double>(result.stats.bands)));
+    stats.emplace_back("peak_band_size", Json(result.stats.peak_band_size));
+    stats.emplace_back("enumerate_seconds",
+                       Json(result.stats.enumerate_seconds));
+    stats.emplace_back("evaluate_seconds", Json(result.stats.evaluate_seconds));
+    stats.emplace_back("merge_seconds", Json(result.stats.merge_seconds));
+    stats.emplace_back("filter_cpu_seconds",
+                       Json(result.stats.filter_cpu_seconds));
+    stats.emplace_back("implement_cpu_seconds",
+                       Json(result.stats.implement_cpu_seconds));
+  }
   doc.emplace_back("stats", Json(std::move(stats)));
   return Json(std::move(doc));
 }

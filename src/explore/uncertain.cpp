@@ -83,19 +83,20 @@ UncertainExploreResult explore_uncertain(
   // Best-case cost of the cheapest maximal-flexibility point found so far.
   double stop_hi = std::numeric_limits<double>::infinity();
 
+  const DominanceContext dominance(spec);
   CostOrderedAllocations stream(spec);
   while (std::optional<AllocSet> a = stream.next()) {
+    if (a->none()) continue;  // the empty base costs no candidate budget
     ++result.stats.candidates_generated;
     if (options.base.max_candidates != 0 &&
         result.stats.candidates_generated > options.base.max_candidates)
       break;
-    if (a->none()) continue;
 
     const double crisp = spec.allocation_cost(*a);
     if (crisp * min_ratio > stop_hi) break;  // all later points dominated
 
     if (options.base.prune_dominated_allocations &&
-        obviously_dominated(spec, *a)) {
+        obviously_dominated(spec, dominance, *a)) {
       ++result.stats.dominated_skipped;
       continue;
     }

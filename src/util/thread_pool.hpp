@@ -1,0 +1,77 @@
+// A small work-stealing thread pool.
+//
+// Built for the parallel EXPLORE engine: a band of expensive, independent
+// candidate evaluations is fanned out with `parallel_for`, whose iterations
+// vary wildly in cost (a dominance-filtered candidate returns in
+// microseconds, a binding solve can take milliseconds).  Each worker owns a
+// deque; it pops its own work LIFO (cache-warm) and steals FIFO from the
+// busiest end of its siblings when it runs dry, so long-running iterations
+// do not strand queued work behind them.
+//
+// The pool is deliberately minimal: no futures, no task graph, no
+// priorities.  Tasks must not throw (the library's expected-failure paths
+// use Result<T>, and violated invariants abort via SDF_CHECK).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdf {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 means one per hardware thread.
+  explicit ThreadPool(std::size_t workers = 0);
+  /// Drains remaining work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues one task.  Callable from any thread, including workers.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.  The calling thread
+  /// helps execute queued work while it waits instead of idling.
+  void wait_idle();
+
+  /// Runs `fn(0) .. fn(n-1)` across the pool and blocks until all complete.
+  /// Iterations are independent; no ordering is guaranteed.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// `std::thread::hardware_concurrency()` with a sane floor of 1.
+  [[nodiscard]] static std::size_t hardware_threads();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /// Pops from `self`'s back (LIFO) or steals from another queue's front
+  /// (FIFO).  Returns an empty function when no work is available.
+  std::function<void()> take_task(std::size_t self);
+  void worker_loop(std::size_t index);
+  bool run_one(std::size_t self);  ///< executes one task if available
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex idle_mu_;
+  std::condition_variable work_cv_;   ///< wakes sleeping workers
+  std::condition_variable idle_cv_;   ///< wakes wait_idle()
+  std::size_t in_flight_ = 0;         ///< submitted but not finished
+  std::size_t queued_ = 0;            ///< sitting in a deque, not yet taken
+  std::size_t next_queue_ = 0;        ///< round-robin for external submits
+  bool stop_ = false;
+};
+
+}  // namespace sdf
