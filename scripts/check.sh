@@ -13,4 +13,13 @@ for b in build/bench/bench_*; do
   "$b" --benchmark_min_time=0.01
 done
 
+# Memory-error pass: the whole test suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer (SDF_SANITIZE=address wires both) in its own
+# instrumented tree.
+echo "==================== ASan+UBSan test suite ===================="
+cmake -B build-addresssan -DSDF_SANITIZE=address
+cmake --build build-addresssan -j "$(nproc)"
+UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-addresssan --output-on-failure
+
 echo "ALL CHECKS PASSED"

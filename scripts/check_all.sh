@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Single entry point for every local gate, in cheap-to-expensive order:
+#
+#   1. scripts/check.sh        build, ctest, benches, ASan+UBSan suite
+#   2. scripts/check_tsan.sh   ThreadSanitizer over the concurrency tests
+#   3. scripts/check_tidy.sh   clang-tidy profile (skips if not installed)
+#   4. sdf lint                zero-diagnostic gate over examples/specs/
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scripts/check.sh
+scripts/check_tsan.sh
+scripts/check_tidy.sh
+
+echo "==================== sdf lint examples/specs ===================="
+SDF=build/tools/sdf
+if [ ! -x "$SDF" ]; then
+  echo "check_all: $SDF missing after check.sh" >&2
+  exit 1
+fi
+for spec in examples/specs/*.json; do
+  echo "lint $spec"
+  "$SDF" lint "$spec"
+done
+
+echo "ALL GATES PASSED"

@@ -15,6 +15,7 @@
 #include "flex/flexibility.hpp"
 #include "gen/spec_generator.hpp"
 #include "graph/dot.hpp"
+#include "lint/lint.hpp"
 #include "spec/paper_models.hpp"
 #include "spec/spec_dot.hpp"
 #include "spec/spec_io.hpp"
@@ -25,20 +26,38 @@
 namespace sdf {
 namespace {
 
-Result<SpecificationGraph> load_spec(const std::string& path) {
+Result<SpecificationGraph> load_spec(const std::string& path,
+                                     const SpecParseOptions& options = {}) {
   std::ifstream in(path);
   if (!in) return Error{"cannot open '" + path + "'"};
   std::stringstream buf;
   buf << in.rdbuf();
-  Result<SpecificationGraph> spec = spec_from_string(buf.str());
+  Result<SpecificationGraph> spec = spec_from_string(buf.str(), options);
   if (!spec.ok()) return spec.error().wrap(path);
   return spec;
+}
+
+/// Error-severity lint rules as a gate before a potentially long
+/// exploration.  Cheap (no solver calls), catches defects the structural
+/// load-time validation cannot (unmappable leaves, impossible timing, ...).
+bool preflight_ok(const SpecificationGraph& spec, std::ostream& err) {
+  const LintReport report = lint_errors(spec);
+  if (!report.has_errors()) return true;
+  err << "preflight: specification cannot yield a feasible implementation ("
+      << report.errors()
+      << " error(s); 'sdf lint' shows the full report, --no-preflight "
+         "bypasses this check)\n"
+      << report.to_text();
+  return false;
 }
 
 int usage(std::ostream& err) {
   err << "usage: sdf <command> [flags]\n"
          "commands:\n"
-         "  validate <spec.json>          check a specification\n"
+         "  validate <spec.json> [--json] check a specification (exit: 0 ok,\n"
+         "                                1 warnings, 2 errors)\n"
+         "  lint <spec.json> [flags]      full rule-based diagnostics; --list,\n"
+         "                                --json, --rules=<ids>, --min-severity=<s>\n"
          "  flexibility <spec.json>       Def. 4 flexibility analysis\n"
          "  explore <spec.json> [flags]   flexibility/cost Pareto front\n"
          "  upgrade <spec.json> --existing=<units>   incremental upgrades\n"
@@ -50,23 +69,109 @@ int usage(std::ostream& err) {
   return 2;
 }
 
-int cmd_validate(const std::vector<std::string>& args, std::ostream& out,
+/// Parses --rules / --min-severity into LintOptions; nonzero = usage error.
+int parse_lint_options(const Flags& flags, LintOptions& options,
+                       std::ostream& err) {
+  for (const std::string& raw_rule : split(flags.get("rules"), ',')) {
+    const std::string rule(trim(raw_rule));
+    if (rule.empty()) continue;
+    if (find_lint_rule(rule) == nullptr) {
+      err << "unknown lint rule '" << rule << "' (see 'sdf lint --list')\n";
+      return 2;
+    }
+    options.only_rules.push_back(rule);
+  }
+  const std::optional<Severity> min = parse_severity(flags.get("min-severity"));
+  if (!min.has_value()) {
+    err << "unknown --min-severity value '" << flags.get("min-severity")
+        << "' (note|warning|error)\n";
+    return 2;
+  }
+  options.min_severity = *min;
+  return 0;
+}
+
+int cmd_validate(const std::vector<std::string>& raw, std::ostream& out,
                  std::ostream& err) {
-  if (args.empty()) {
+  Flags flags;
+  flags.define_bool("json", false, "emit the report as JSON");
+  if (Status s = flags.parse(raw); !s.ok()) {
+    err << s.error().message << "\nflags:\n" << flags.usage();
+    return 2;
+  }
+  if (flags.positional().empty()) {
     err << "validate: missing <spec.json>\n";
     return 2;
   }
-  Result<SpecificationGraph> spec = load_spec(args[0]);
+  Result<SpecificationGraph> spec =
+      load_spec(flags.positional()[0], SpecParseOptions{.validate = false});
   if (!spec.ok()) {
     err << "invalid: " << spec.error().message << '\n';
-    return 1;
+    return 2;
   }
   const SpecificationGraph& s = spec.value();
-  out << "valid: " << s.name() << " — " << s.problem().leaves().size()
-      << " processes, " << s.problem().all_refinement_clusters().size()
-      << " clusters, " << s.alloc_units().size() << " allocatable units, "
-      << s.mappings().size() << " mapping edges\n";
-  return 0;
+  // `validate` is the correctness gate: the lint registry without the
+  // style-level notes.  `sdf lint` runs everything.
+  LintOptions options;
+  options.min_severity = Severity::kWarning;
+  const LintReport report = lint(s, options);
+  if (flags.get_bool("json")) {
+    Json j = report.to_json();
+    j.set("spec", s.name());
+    j.set("valid", !report.has_errors());
+    out << j.dump(2) << '\n';
+    return report.exit_code();
+  }
+  if (report.clean()) {
+    out << "valid: " << s.name() << " — " << s.problem().leaves().size()
+        << " processes, " << s.problem().all_refinement_clusters().size()
+        << " clusters, " << s.alloc_units().size() << " allocatable units, "
+        << s.mappings().size() << " mapping edges\n";
+    return 0;
+  }
+  out << report.to_text();
+  return report.exit_code();
+}
+
+int cmd_lint(const std::vector<std::string>& raw, std::ostream& out,
+             std::ostream& err) {
+  Flags flags;
+  flags.define_bool("json", false, "emit the report as JSON");
+  flags.define_bool("list", false, "print the rule catalogue and exit");
+  flags.define("rules", "",
+               "comma-separated rule ids or names to run (empty = all)");
+  flags.define("min-severity", "note",
+               "run only rules of at least this severity: note|warning|error");
+  if (Status s = flags.parse(raw); !s.ok()) {
+    err << s.error().message << "\nflags:\n" << flags.usage();
+    return 2;
+  }
+  if (flags.get_bool("list")) {
+    Table table({"id", "severity", "name", "summary"});
+    for (const RuleInfo& info : lint_rule_catalog())
+      table.add_row({info.id, std::string(severity_name(info.severity)),
+                     info.name, info.summary});
+    out << table.to_ascii();
+    return 0;
+  }
+  if (flags.positional().empty()) {
+    err << "lint: missing <spec.json>\n";
+    return 2;
+  }
+  LintOptions options;
+  if (int rc = parse_lint_options(flags, options, err); rc != 0) return rc;
+  Result<SpecificationGraph> spec =
+      load_spec(flags.positional()[0], SpecParseOptions{.validate = false});
+  if (!spec.ok()) {
+    err << spec.error().message << '\n';
+    return 2;
+  }
+  const LintReport report = lint(spec.value(), options);
+  if (flags.get_bool("json"))
+    out << report.to_json().dump(2) << '\n';
+  else
+    out << report.to_text();
+  return report.exit_code();
 }
 
 int cmd_flexibility(const std::vector<std::string>& args, std::ostream& out,
@@ -111,6 +216,8 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
   flags.define("target-f", "",
                "also answer: cheapest platform reaching this flexibility");
   flags.define_bool("stats", true, "print exploration statistics");
+  flags.define_bool("preflight", true,
+                    "error-severity lint gate before exploring");
   flags.define_bool("evolutionary", false, "use the heuristic EA explorer");
   flags.define("seed", "1", "EA seed");
   flags.define("threads", "1",
@@ -129,6 +236,8 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
     err << spec.error().message << '\n';
     return 1;
   }
+  if (flags.get_bool("preflight") && !preflight_ok(spec.value(), err))
+    return 2;
 
   ExploreOptions options;
   const std::string comm = flags.get("comm");
@@ -239,6 +348,8 @@ int cmd_upgrade(const std::vector<std::string>& raw, std::ostream& out,
                 std::ostream& err) {
   Flags flags;
   flags.define("existing", "", "comma-separated unit names already deployed");
+  flags.define_bool("preflight", true,
+                    "error-severity lint gate before exploring");
   if (Status s = flags.parse(raw); !s.ok()) {
     err << s.error().message << "\nflags:\n" << flags.usage();
     return 2;
@@ -252,6 +363,8 @@ int cmd_upgrade(const std::vector<std::string>& raw, std::ostream& out,
     err << spec.error().message << '\n';
     return 1;
   }
+  if (flags.get_bool("preflight") && !preflight_ok(spec.value(), err))
+    return 2;
   AllocSet existing = spec.value().make_alloc_set();
   for (const std::string& raw_name : split(flags.get("existing"), ',')) {
     const std::string name(trim(raw_name));
@@ -301,6 +414,8 @@ int cmd_sensitivity(const std::vector<std::string>& raw, std::ostream& out,
                     std::ostream& err) {
   Flags flags;
   flags.define("alloc", "", "comma-separated unit names (empty = all)");
+  flags.define_bool("preflight", true,
+                    "error-severity lint gate before analyzing");
   if (Status s = flags.parse(raw); !s.ok()) {
     err << s.error().message << '\n';
     return 2;
@@ -314,6 +429,8 @@ int cmd_sensitivity(const std::vector<std::string>& raw, std::ostream& out,
     err << spec.error().message << '\n';
     return 1;
   }
+  if (flags.get_bool("preflight") && !preflight_ok(spec.value(), err))
+    return 2;
   Result<AllocSet> alloc = parse_alloc(spec.value(), flags.get("alloc"));
   if (!alloc.ok()) {
     err << alloc.error().message << '\n';
@@ -462,6 +579,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   const std::string& command = args[0];
   const std::vector<std::string> rest(args.begin() + 1, args.end());
   if (command == "validate") return cmd_validate(rest, out, err);
+  if (command == "lint") return cmd_lint(rest, out, err);
   if (command == "flexibility") return cmd_flexibility(rest, out, err);
   if (command == "explore") return cmd_explore(rest, out, err);
   if (command == "upgrade") return cmd_upgrade(rest, out, err);

@@ -1,7 +1,10 @@
 // The `sdf` command-line tool, as a testable library function.
 //
 // Subcommands:
-//   sdf validate <spec.json>             structural + semantic validation
+//   sdf validate <spec.json>             lint gate: errors + warnings; exit
+//                                        code 0/1/2 by max severity
+//   sdf lint <spec.json> [...]           full rule-based diagnostics (see
+//                                        docs/LINT.md); --list catalogues
 //   sdf flexibility <spec.json>          Def. 4 analysis of the problem graph
 //   sdf explore <spec.json> [...]        EXPLORE; prints the Pareto front
 //   sdf dot <spec.json> [--graph=...]    DOT rendering to stdout

@@ -53,6 +53,7 @@
 #include "graph/hierarchical_graph.hpp"
 #include "graph/traversal.hpp"
 #include "graph/validate.hpp"
+#include "lint/lint.hpp"
 #include "moo/indicators.hpp"
 #include "moo/interval.hpp"
 #include "moo/knee.hpp"

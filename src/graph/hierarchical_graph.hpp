@@ -119,7 +119,8 @@ class HierarchicalGraph {
   NodeId add_interface(ClusterId cluster, std::string name);
   /// Adds an alternative refinement cluster to interface `iface`.
   ClusterId add_cluster(NodeId iface, std::string name);
-  /// Adds a dependence edge; both endpoints must live in the same cluster.
+  /// Adds a dependence edge; both endpoints should live in the same cluster
+  /// (violations are recorded and reported by validate()/lint, not fatal).
   EdgeId add_edge(NodeId from, NodeId to);
   /// Adds a dependence edge attached to explicit interface ports (either
   /// port id may be invalid when the corresponding endpoint is a plain

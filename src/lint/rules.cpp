@@ -1,0 +1,282 @@
+#include "lint/rules.hpp"
+
+#include <map>
+#include <utility>
+
+#include "flex/activatability.hpp"
+#include "sched/utilization.hpp"
+#include "util/strings.hpp"
+
+namespace sdf::lint_internal {
+namespace {
+
+std::string problem_loc(const SpecificationGraph& spec, NodeId n) {
+  return "problem:" + node_path(spec.problem(), n);
+}
+
+std::string mapping_loc(const SpecificationGraph& spec, const MappingEdge& m) {
+  return "mapping:" + spec.problem().node(m.process).name + " -> " +
+         spec.architecture().node(m.resource).name;
+}
+
+// ---- SDF009: problem leaf with no mapping edge -------------------------------
+
+void check_unmappable_process(LintContext& ctx) {
+  const HierarchicalGraph& p = ctx.spec.problem();
+  DynBitset mapped(p.node_count());
+  for (const MappingEdge& m : ctx.spec.mappings())
+    mapped.set(m.process.index());
+  for (const Node& n : p.nodes()) {
+    if (n.is_interface() || mapped.test(n.id.index())) continue;
+    ctx.report(problem_loc(ctx.spec, n.id),
+               "process '" + n.name +
+                   "' has no mapping edge to any architecture resource; no "
+                   "binding can ever realize it",
+               "add a mapping edge from '" + n.name +
+                   "' to an allocatable resource");
+  }
+}
+
+// ---- SDF010: mapping edge with a non-leaf endpoint ---------------------------
+
+void check_bad_mapping_endpoint(LintContext& ctx) {
+  for (const MappingEdge& m : ctx.spec.mappings()) {
+    const Node& p = ctx.spec.problem().node(m.process);
+    const Node& r = ctx.spec.architecture().node(m.resource);
+    if (p.is_interface())
+      ctx.report(mapping_loc(ctx.spec, m),
+                 "mapping edge starts at interface '" + p.name +
+                     "'; mapping edges link problem-graph *leaves* to "
+                     "architecture leaves",
+                 "map the processes inside '" + p.name +
+                     "''s refinement clusters instead");
+    if (r.is_interface())
+      ctx.report(mapping_loc(ctx.spec, m),
+                 "mapping edge ends at architecture interface '" + r.name +
+                     "'; bindings target leaves (e.g. one configuration of "
+                     "the device)",
+                 "map '" + p.name + "' to a leaf inside one of '" + r.name +
+                     "''s configurations");
+  }
+}
+
+// ---- SDF011: duplicate mapping edges -----------------------------------------
+
+void check_duplicate_mapping(LintContext& ctx) {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> seen;
+  for (const MappingEdge& m : ctx.spec.mappings()) {
+    const auto key = std::make_pair(m.process.value(), m.resource.value());
+    const auto [it, inserted] = seen.emplace(key, m.latency);
+    if (inserted) continue;
+    ctx.report(mapping_loc(ctx.spec, m),
+               strprintf("duplicate mapping edge (latencies %s and %s); the "
+                         "binding solver treats them as distinct candidates",
+                         format_double(it->second).c_str(),
+                         format_double(m.latency).c_str()),
+               "keep a single mapping edge per (process, resource) pair");
+  }
+}
+
+// ---- SDF012: negative attribute values ---------------------------------------
+
+void check_negative_attribute(LintContext& ctx) {
+  constexpr const char* kNonNegativeKeys[] = {
+      attr::kCost,     attr::kLatency,   attr::kPeriod,
+      attr::kCapacity, attr::kFootprint, attr::kTimingWeight};
+  const auto scan = [&](const HierarchicalGraph& g, const char* tag) {
+    const auto flag = [&](std::string location, const std::string& entity,
+                          const std::string& key, double value) {
+      ctx.report(std::move(location),
+                 strprintf("%s has negative %s %s", entity.c_str(),
+                           key.c_str(), format_double(value).c_str()),
+                 "costs, latencies, periods, capacities, footprints and "
+                 "timing weights must be non-negative");
+    };
+    for (const Node& n : g.nodes())
+      for (const char* key : kNonNegativeKeys)
+        if (const auto it = n.attrs.find(key);
+            it != n.attrs.end() && it->second < 0)
+          flag(std::string(tag) + ":" + node_path(g, n.id),
+               "node '" + n.name + "'", key, it->second);
+    for (const Cluster& c : g.clusters())
+      for (const char* key : kNonNegativeKeys)
+        if (const auto it = c.attrs.find(key);
+            it != c.attrs.end() && it->second < 0)
+          flag(std::string(tag) + ":" + cluster_path(g, c.id),
+               "cluster '" + c.name + "'", key, it->second);
+  };
+  scan(ctx.spec.problem(), "problem");
+  scan(ctx.spec.architecture(), "architecture");
+  for (const MappingEdge& m : ctx.spec.mappings())
+    if (m.latency < 0)
+      ctx.report(mapping_loc(ctx.spec, m),
+                 strprintf("mapping edge has negative latency %s",
+                           format_double(m.latency).c_str()),
+                 "use a non-negative worst-case execution latency");
+}
+
+// ---- SDF013: allocatable unit without a cost attribute -----------------------
+
+void check_missing_cost(LintContext& ctx) {
+  const HierarchicalGraph& a = ctx.spec.architecture();
+  for (const AllocUnit& u : ctx.spec.alloc_units()) {
+    const bool has_cost =
+        u.is_cluster_unit()
+            ? a.cluster(u.cluster).attrs.contains(attr::kCost)
+            : a.node(u.vertex).attrs.contains(attr::kCost);
+    if (has_cost) continue;
+    const std::string location =
+        "architecture:" + (u.is_cluster_unit() ? cluster_path(a, u.cluster)
+                                               : node_path(a, u.vertex));
+    ctx.report(location,
+               "allocatable unit '" + u.name +
+                   "' has no cost attribute; it is treated as free and every "
+                   "allocation will include it at no charge",
+               "annotate '" + u.name + "' with an explicit \"cost\" (0 is "
+                                       "fine if intentional)");
+  }
+}
+
+// ---- SDF014: interface with a single refinement ------------------------------
+
+void check_single_alternative(LintContext& ctx) {
+  const HierarchicalGraph& p = ctx.spec.problem();
+  for (const Node& n : p.nodes()) {
+    if (!n.is_interface() || n.clusters.size() != 1) continue;
+    ctx.report(problem_loc(ctx.spec, n.id),
+               "interface '" + n.name +
+                   "' has exactly one refinement cluster; its flexibility "
+                   "contribution is structurally zero (Def. 4 collapses to "
+                   "the child's value)",
+               "add an alternative refinement or inline cluster '" +
+                   p.cluster(n.clusters.front()).name + "' into '" + n.name +
+                   "''s parent");
+  }
+}
+
+// ---- SDF015: cluster dead under even the full allocation ---------------------
+
+void check_dead_cluster(LintContext& ctx) {
+  AllocSet all = ctx.spec.make_alloc_set();
+  for (std::size_t i = 0; i < ctx.spec.alloc_units().size(); ++i) all.set(i);
+  const Activatability act(ctx.spec, all);
+  const HierarchicalGraph& p = ctx.spec.problem();
+  for (const Cluster& c : p.clusters()) {
+    if (act.activatable(c.id)) continue;
+    if (c.is_root()) {
+      ctx.report("problem:" + cluster_path(p, c.id),
+                 "no complete problem activation is coverable by any "
+                 "allocation; the specification has no implementable "
+                 "behavior at all",
+                 "check the mapping edges of the processes above");
+    } else {
+      ctx.report("problem:" + cluster_path(p, c.id),
+                 "alternative cluster '" + c.name +
+                     "' can never be activated, even with every resource "
+                     "allocated; its flexibility contribution is dead",
+                 "map every process in the cluster's subtree, or remove the "
+                 "dead alternative");
+    }
+  }
+}
+
+// ---- SDF016: no mapping fits the Liu/Layland bound ---------------------------
+
+void check_utilization_impossible(LintContext& ctx) {
+  const HierarchicalGraph& p = ctx.spec.problem();
+  for (const Node& n : p.nodes()) {
+    if (n.is_interface()) continue;
+    const double period = p.attr_or(n.id, attr::kPeriod, 0.0);
+    const double weight = p.attr_or(n.id, attr::kTimingWeight, 1.0);
+    if (period <= 0.0 || weight <= 0.0) continue;
+    const std::vector<MappingEdge> maps = ctx.spec.mappings_of(n.id);
+    if (maps.empty()) continue;  // SDF009's business
+    double best = weight * maps.front().latency / period;
+    for (const MappingEdge& m : maps)
+      best = std::min(best, weight * m.latency / period);
+    if (best <= kUtilizationBound69 + 1e-9) continue;
+    ctx.report(problem_loc(ctx.spec, n.id),
+               strprintf("process '%s' exceeds the Liu/Layland utilization "
+                         "bound on every mapped resource (best %s > %s); the "
+                         "timing filter rejects every binding",
+                         n.name.c_str(), format_double(best, 3).c_str(),
+                         format_double(kUtilizationBound69).c_str()),
+               "add a faster mapping, relax the period, or mark '" + n.name +
+                   "' as negligible (timing_weight 0)");
+  }
+}
+
+}  // namespace
+
+void LintContext::report(std::string location, std::string message,
+                         std::string hint) {
+  sink.push_back(Diagnostic{rule.id, rule.name, rule.severity,
+                            std::move(location), std::move(message),
+                            std::move(hint)});
+}
+
+const std::vector<RuleDef>& rule_defs() {
+  static const std::vector<RuleDef> defs = {
+      {kRuleVertexWithClusters, "vertex-with-clusters", Severity::kError,
+       "a non-hierarchical vertex carries refinement clusters", nullptr},
+      {kRuleVertexWithPorts, "vertex-with-ports", Severity::kError,
+       "a non-hierarchical vertex declares ports", nullptr},
+      {kRuleEmptyInterface, "empty-interface", Severity::kError,
+       "an interface has no refinement cluster (empty Gamma); it can never "
+       "be activated",
+       nullptr},
+      {kRuleDanglingPortMapping, "dangling-port-mapping", Severity::kError,
+       "a port mapping names a cluster that does not refine the port's "
+       "interface, or a target outside that cluster",
+       nullptr},
+      {kRuleIncompletePortMapping, "incomplete-port-mapping",
+       Severity::kWarning,
+       "a (port, refinement) pair has no port mapping; boundary edges fall "
+       "back to default resolution",
+       nullptr},
+      {kRuleCrossHierarchyEdge, "cross-hierarchy-edge", Severity::kError,
+       "a dependence edge connects nodes of different clusters", nullptr},
+      {kRulePortOwnerMismatch, "port-owner-mismatch", Severity::kError,
+       "an edge is attached to a port owned by a different node", nullptr},
+      {kRuleClusterCycle, "cluster-cycle", Severity::kError,
+       "the dependence edges of one cluster form a cycle", nullptr},
+      {kRuleUnmappableProcess, "unmappable-process", Severity::kError,
+       "a problem-graph leaf has no mapping edge; binding can never be "
+       "feasible",
+       &check_unmappable_process},
+      {kRuleBadMappingEndpoint, "bad-mapping-endpoint", Severity::kError,
+       "a mapping edge starts or ends at a non-leaf (interface) vertex",
+       &check_bad_mapping_endpoint},
+      {kRuleDuplicateMapping, "duplicate-mapping", Severity::kWarning,
+       "the same (process, resource) pair is mapped more than once",
+       &check_duplicate_mapping},
+      {kRuleNegativeAttribute, "negative-attribute", Severity::kError,
+       "a cost, latency, period, capacity, footprint or timing weight is "
+       "negative",
+       &check_negative_attribute},
+      {kRuleMissingCost, "missing-cost", Severity::kWarning,
+       "an allocatable unit has no cost attribute and is priced as free",
+       &check_missing_cost},
+      {kRuleSingleAlternative, "single-alternative-interface", Severity::kNote,
+       "an interface has exactly one refinement; Def. 4 collapses and it "
+       "adds no flexibility",
+       &check_single_alternative},
+      {kRuleDeadCluster, "dead-cluster", Severity::kWarning,
+       "a cluster is not activatable even under the full allocation; the "
+       "subtree is flexibility-dead",
+       &check_dead_cluster},
+      {kRuleUtilizationImpossible, "utilization-impossible", Severity::kError,
+       "a timing-relevant process exceeds the Liu/Layland bound on every "
+       "mapped resource",
+       &check_utilization_impossible},
+  };
+  return defs;
+}
+
+const RuleDef* find_rule_def(std::string_view id_or_name) {
+  for (const RuleDef& d : rule_defs())
+    if (id_or_name == d.id || id_or_name == d.name) return &d;
+  return nullptr;
+}
+
+}  // namespace sdf::lint_internal

@@ -286,7 +286,8 @@ Result<std::string> spec_to_string(const SpecificationGraph& spec) {
   return doc.value().dump(2);
 }
 
-Result<SpecificationGraph> spec_from_json(const Json& doc) {
+Result<SpecificationGraph> spec_from_json(const Json& doc,
+                                          const SpecParseOptions& options) {
   if (!doc.is_object()) return Error{"specification must be a JSON object"};
   SpecificationGraph spec(doc.string_or("name", "G_S"));
 
@@ -315,14 +316,17 @@ Result<SpecificationGraph> spec_from_json(const Json& doc) {
     }
   }
 
-  if (Status s = spec.validate(); !s.ok()) return s.error();
+  if (options.validate) {
+    if (Status s = spec.validate(); !s.ok()) return s.error();
+  }
   return spec;
 }
 
-Result<SpecificationGraph> spec_from_string(std::string_view text) {
+Result<SpecificationGraph> spec_from_string(std::string_view text,
+                                            const SpecParseOptions& options) {
   Result<Json> doc = Json::parse(text);
   if (!doc.ok()) return doc.error();
-  return spec_from_json(doc.value());
+  return spec_from_json(doc.value(), options);
 }
 
 }  // namespace sdf

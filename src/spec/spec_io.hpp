@@ -30,11 +30,21 @@ namespace sdf {
 [[nodiscard]] Result<std::string> spec_to_string(
     const SpecificationGraph& spec);
 
+/// Options controlling specification parsing.
+struct SpecParseOptions {
+  /// Run `SpecificationGraph::validate()` after parsing and fail on the
+  /// first structural error.  Diagnostic tools (`sdf lint` / `sdf validate`)
+  /// turn this off so they can load a defective specification and report
+  /// *all* findings through the lint engine instead.
+  bool validate = true;
+};
+
 /// Parses a specification from a JSON document.
-[[nodiscard]] Result<SpecificationGraph> spec_from_json(const Json& doc);
+[[nodiscard]] Result<SpecificationGraph> spec_from_json(
+    const Json& doc, const SpecParseOptions& options = {});
 
 /// Parses a specification from JSON text.
 [[nodiscard]] Result<SpecificationGraph> spec_from_string(
-    std::string_view text);
+    std::string_view text, const SpecParseOptions& options = {});
 
 }  // namespace sdf

@@ -114,9 +114,98 @@ TEST_F(CliTest, ValidateAcceptsSettop) {
 TEST_F(CliTest, ValidateRejectsGarbage) {
   const std::string path = "/tmp/sdf_cli_test_garbage.json";
   std::ofstream(path) << "{ not json";
-  EXPECT_EQ(run({"validate", path}), 1);
-  EXPECT_EQ(run({"validate", "/tmp/definitely_missing_file.json"}), 1);
+  EXPECT_EQ(run({"validate", path}), 2);
+  EXPECT_EQ(run({"validate", "/tmp/definitely_missing_file.json"}), 2);
   EXPECT_EQ(run({"validate"}), 2);
+}
+
+TEST_F(CliTest, ValidateReportsLintFindingsWithExitCode) {
+  // A structurally loadable spec with an unmapped process: error severity.
+  const std::string path = "/tmp/sdf_cli_test_unmapped.json";
+  std::ofstream(path) << R"({
+    "name": "unmapped",
+    "problem": {"root": {"nodes": [{"name": "A"}, {"name": "B"}]}},
+    "architecture": {"root": {"nodes": [{"name": "uP",
+                                         "attrs": {"cost": 10}}]}},
+    "mappings": [{"process": "A", "resource": "uP", "latency": 1}]
+  })";
+  EXPECT_EQ(run({"validate", path}), 2);
+  EXPECT_NE(out_.str().find("[SDF009]"), std::string::npos);
+
+  EXPECT_EQ(run({"validate", path, "--json"}), 2);
+  Result<Json> doc = Json::parse(out_.str());
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  EXPECT_FALSE(doc.value().bool_or("valid", true));
+  EXPECT_GE(doc.value().number_or("errors", 0), 1.0);
+}
+
+TEST_F(CliTest, LintCleanModelExitsZero) {
+  EXPECT_EQ(run({"lint", settop_path()}), 0);
+  EXPECT_NE(out_.str().find("0 error(s), 0 warning(s), 0 note(s)"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, LintReportsTextAndJson) {
+  const std::string path = "/tmp/sdf_cli_test_lint.json";
+  std::ofstream(path) << R"({
+    "name": "broken",
+    "problem": {"root": {"nodes": [{"name": "A"}, {"name": "B"}]}},
+    "architecture": {"root": {"nodes": [{"name": "uP"}]}},
+    "mappings": [{"process": "A", "resource": "uP", "latency": 1}]
+  })";
+  EXPECT_EQ(run({"lint", path}), 2);
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("[SDF009]"), std::string::npos);  // B unmapped
+  EXPECT_NE(text.find("[SDF013]"), std::string::npos);  // uP has no cost
+  EXPECT_NE(text.find("hint:"), std::string::npos);
+
+  EXPECT_EQ(run({"lint", path, "--json"}), 2);
+  Result<Json> doc = Json::parse(out_.str());
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  ASSERT_NE(doc.value().find("diagnostics"), nullptr);
+  EXPECT_GE(doc.value().find("diagnostics")->as_array().size(), 2u);
+  EXPECT_GE(doc.value().number_or("errors", 0), 1.0);
+
+  // Rule selection narrows the run; warnings exit 1.
+  EXPECT_EQ(run({"lint", path, "--rules=SDF013"}), 1);
+  EXPECT_EQ(out_.str().find("[SDF009]"), std::string::npos);
+  // Severity filter drops the warning entirely.
+  EXPECT_EQ(run({"lint", path, "--rules=SDF013", "--min-severity=error"}), 0);
+}
+
+TEST_F(CliTest, LintUsageErrors) {
+  EXPECT_EQ(run({"lint"}), 2);
+  EXPECT_EQ(run({"lint", settop_path(), "--rules=SDF999"}), 2);
+  EXPECT_EQ(run({"lint", settop_path(), "--min-severity=fatal"}), 2);
+  EXPECT_EQ(run({"lint", "/tmp/definitely_missing_file.json"}), 2);
+}
+
+TEST_F(CliTest, LintListsCatalog) {
+  EXPECT_EQ(run({"lint", "--list"}), 0);
+  EXPECT_NE(out_.str().find("SDF001"), std::string::npos);
+  EXPECT_NE(out_.str().find("SDF016"), std::string::npos);
+  EXPECT_NE(out_.str().find("unmappable-process"), std::string::npos);
+}
+
+TEST_F(CliTest, ExplorePreflightRejectsDefectiveSpec) {
+  const std::string path = "/tmp/sdf_cli_test_preflight.json";
+  std::ofstream(path) << R"({
+    "name": "defective",
+    "problem": {"root": {"nodes": [{"name": "A"}, {"name": "B"}]}},
+    "architecture": {"root": {"nodes": [{"name": "uP",
+                                         "attrs": {"cost": 10}}]}},
+    "mappings": [{"process": "A", "resource": "uP", "latency": 1}]
+  })";
+  EXPECT_EQ(run({"explore", path}), 2);
+  EXPECT_NE(err_.str().find("preflight"), std::string::npos);
+  EXPECT_NE(err_.str().find("SDF009"), std::string::npos);
+  // The escape hatch runs the exploration anyway (empty front, exit 0).
+  EXPECT_EQ(run({"explore", path, "--no-preflight"}), 0);
+  // upgrade and sensitivity share the gate.
+  EXPECT_EQ(run({"upgrade", path}), 2);
+  EXPECT_NE(err_.str().find("preflight"), std::string::npos);
+  EXPECT_EQ(run({"sensitivity", path}), 2);
+  EXPECT_NE(err_.str().find("preflight"), std::string::npos);
 }
 
 TEST_F(CliTest, FlexibilityReportsMaximum) {
