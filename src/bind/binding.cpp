@@ -2,6 +2,7 @@
 
 #include <queue>
 
+#include "spec/compiled.hpp"
 #include "util/strings.hpp"
 
 namespace sdf {
@@ -24,23 +25,14 @@ double Binding::total_latency() const {
 
 namespace {
 
-bool tops_directly_connected(const HierarchicalGraph& arch, NodeId x,
-                             NodeId y) {
-  for (EdgeId eid : arch.node(x).out_edges)
-    if (arch.edge(eid).to == y) return true;
-  for (EdgeId eid : arch.node(x).in_edges)
-    if (arch.edge(eid).from == y) return true;
-  return false;
-}
-
 /// BFS over top-level architecture nodes that are "present" under `alloc`
 /// (vertex units allocated, or interfaces with an allocated configuration).
-bool tops_path_connected(const SpecificationGraph& spec, const AllocSet& alloc,
+bool tops_path_connected(const CompiledSpec& cs, const AllocSet& alloc,
                          NodeId from, NodeId to) {
-  const HierarchicalGraph& arch = spec.architecture();
+  const HierarchicalGraph& arch = cs.architecture();
   // Presence of each top-level node under the allocation.
   DynBitset present(arch.node_count());
-  const auto& units = spec.alloc_units();
+  const auto& units = cs.units();
   alloc.for_each(
       [&](std::size_t i) { present.set(units[i].top.index()); });
   if (!present.test(from.index()) || !present.test(to.index())) return false;
@@ -66,29 +58,34 @@ bool tops_path_connected(const SpecificationGraph& spec, const AllocSet& alloc,
 
 }  // namespace
 
-bool units_can_communicate(const SpecificationGraph& spec,
-                           const AllocSet& alloc, AllocUnitId a, AllocUnitId b,
-                           CommModel model) {
-  const auto& units = spec.alloc_units();
-  const NodeId top_a = units[a.index()].top;
-  const NodeId top_b = units[b.index()].top;
-  if (top_a == top_b) return true;
-
+bool units_can_communicate(const CompiledSpec& cs, const AllocSet& alloc,
+                           AllocUnitId a, AllocUnitId b, CommModel model) {
   switch (model) {
     case CommModel::kDirectOnly:
-      return tops_directly_connected(spec.architecture(), top_a, top_b);
+      // `tops_direct` also covers the equal-top case.
+      return cs.tops_direct(a, b);
     case CommModel::kOneHopBus:
-      return spec.comm_reachable(alloc, a, b);
-    case CommModel::kAnyPath:
-      return tops_path_connected(spec, alloc, top_a, top_b);
+      return cs.comm_reachable(alloc, a, b);
+    case CommModel::kAnyPath: {
+      const NodeId top_a = cs.unit(a).top;
+      const NodeId top_b = cs.unit(b).top;
+      if (top_a == top_b) return true;
+      return tops_path_connected(cs, alloc, top_a, top_b);
+    }
   }
   return false;
 }
 
-Status check_binding(const SpecificationGraph& spec, const AllocSet& alloc,
+bool units_can_communicate(const SpecificationGraph& spec,
+                           const AllocSet& alloc, AllocUnitId a, AllocUnitId b,
+                           CommModel model) {
+  return units_can_communicate(spec.compiled(), alloc, a, b, model);
+}
+
+Status check_binding(const CompiledSpec& cs, const AllocSet& alloc,
                      const FlatGraph& flat, const Binding& binding,
                      CommModel model) {
-  const HierarchicalGraph& p = spec.problem();
+  const HierarchicalGraph& p = cs.problem();
 
   // Rule 1: assignments start at activated problem vertices and end at
   // allocated resources.
@@ -119,17 +116,21 @@ Status check_binding(const SpecificationGraph& spec, const AllocSet& alloc,
     const BindingAssignment* at = binding.find(to);
     SDF_CHECK(af != nullptr && at != nullptr, "rule 2 passed but lookup failed");
     if (af->unit == at->unit) continue;
-    if (!units_can_communicate(spec, alloc, af->unit, at->unit, model))
+    if (!units_can_communicate(cs, alloc, af->unit, at->unit, model))
       return Error{strprintf(
           "rule 3: no activated communication between '%s' (on %s) and '%s' "
           "(on %s)",
-          p.node(from).name.c_str(),
-          spec.alloc_units()[af->unit.index()].name.c_str(),
-          p.node(to).name.c_str(),
-          spec.alloc_units()[at->unit.index()].name.c_str())};
+          p.node(from).name.c_str(), cs.unit(af->unit).name.c_str(),
+          p.node(to).name.c_str(), cs.unit(at->unit).name.c_str())};
   }
 
   return Status::Ok();
+}
+
+Status check_binding(const SpecificationGraph& spec, const AllocSet& alloc,
+                     const FlatGraph& flat, const Binding& binding,
+                     CommModel model) {
+  return check_binding(spec.compiled(), alloc, flat, binding, model);
 }
 
 }  // namespace sdf

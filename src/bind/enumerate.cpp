@@ -1,21 +1,23 @@
 #include "bind/enumerate.hpp"
 
+#include "spec/compiled.hpp"
+
 namespace sdf {
 namespace {
 
 /// Full feasibility check of a complete binding, mirroring the solver's
 /// constraints but evaluated monolithically.
-bool feasible_binding(const SpecificationGraph& spec, const AllocSet& alloc,
+bool feasible_binding(const CompiledSpec& cs, const AllocSet& alloc,
                       const FlatGraph& flat, const Binding& binding,
                       const SolverOptions& options) {
-  if (!check_binding(spec, alloc, flat, binding, options.comm_model).ok())
+  if (!check_binding(cs, alloc, flat, binding, options.comm_model).ok())
     return false;
 
   if (options.exclusive_configurations) {
     // At most one configuration per device across the whole binding.
     std::vector<std::pair<NodeId, ClusterId>> devices;
     for (const BindingAssignment& a : binding.assignments()) {
-      const AllocUnit& u = spec.alloc_units()[a.unit.index()];
+      const AllocUnit& u = cs.unit(a.unit);
       if (!u.is_cluster_unit()) continue;
       for (const auto& [dev, cfg] : devices)
         if (dev == u.top && cfg != u.cluster) return false;
@@ -24,15 +26,15 @@ bool feasible_binding(const SpecificationGraph& spec, const AllocSet& alloc,
   }
 
   if (options.utilization_bound > 0.0) {
-    const std::vector<double> util = unit_utilizations(spec, binding);
+    const std::vector<double> util = unit_utilizations(cs, binding);
     for (double u : util)
       if (u > options.utilization_bound + 1e-9) return false;
   }
 
   if (options.enforce_capacities) {
-    const std::vector<double> used = unit_footprints(spec, binding);
+    const std::vector<double> used = unit_footprints(cs, binding);
     for (std::size_t i = 0; i < used.size(); ++i) {
-      const double capacity = unit_capacity(spec, AllocUnitId{i});
+      const double capacity = cs.unit_capacity(AllocUnitId{i});
       if (capacity > 0.0 && used[i] > capacity + 1e-9) return false;
     }
   }
@@ -41,28 +43,22 @@ bool feasible_binding(const SpecificationGraph& spec, const AllocSet& alloc,
 
 }  // namespace
 
-BindingEnumeration enumerate_bindings(const SpecificationGraph& spec,
+BindingEnumeration enumerate_bindings(const CompiledSpec& cs,
                                       const AllocSet& alloc, const Eca& eca,
                                       const SolverOptions& options,
                                       std::size_t max_feasible) {
   BindingEnumeration result;
-  const Result<FlatGraph> flat = flatten(spec.problem(), eca.selection);
-  if (!flat.ok()) return result;
+  const CompiledFlat* flat = cs.flat(eca.selection);
+  if (flat == nullptr) return result;
 
-  // Domains: allocated mapping targets per process.
-  struct Target {
-    NodeId resource;
-    AllocUnitId unit;
-    double latency;
-  };
-  std::vector<NodeId> processes = flat.value().vertices;
-  std::vector<std::vector<Target>> domains(processes.size());
+  // Domains: allocated mapping targets per process, straight from the
+  // compiled domain skeleton.
+  const std::vector<NodeId>& processes = flat->graph.vertices;
+  std::vector<std::vector<CompiledMapping>> domains(processes.size());
   for (std::size_t i = 0; i < processes.size(); ++i) {
-    for (const MappingEdge& m : spec.mappings_of(processes[i])) {
-      const AllocUnitId u = spec.unit_of_resource(m.resource);
-      if (u.valid() && alloc.test(u.index()))
-        domains[i].push_back(Target{m.resource, u, m.latency});
-    }
+    for (const CompiledMapping& m : cs.mappings_of(processes[i]))
+      if (m.unit.valid() && alloc.test(m.unit.index()))
+        domains[i].push_back(m);
     if (domains[i].empty()) return result;  // no complete assignment at all
   }
 
@@ -70,12 +66,12 @@ BindingEnumeration enumerate_bindings(const SpecificationGraph& spec,
   while (true) {
     Binding binding;
     for (std::size_t i = 0; i < processes.size(); ++i) {
-      const Target& t = domains[i][choice[i]];
+      const CompiledMapping& m = domains[i][choice[i]];
       binding.assign(
-          BindingAssignment{processes[i], t.resource, t.unit, t.latency});
+          BindingAssignment{processes[i], m.resource, m.unit, m.latency});
     }
     ++result.assignments;
-    if (feasible_binding(spec, alloc, flat.value(), binding, options)) {
+    if (feasible_binding(cs, alloc, flat->graph, binding, options)) {
       if (max_feasible != 0 && result.feasible.size() >= max_feasible) {
         result.truncated = true;
         return result;
@@ -92,6 +88,14 @@ BindingEnumeration enumerate_bindings(const SpecificationGraph& spec,
     if (pos == processes.size()) break;
   }
   return result;
+}
+
+BindingEnumeration enumerate_bindings(const SpecificationGraph& spec,
+                                      const AllocSet& alloc, const Eca& eca,
+                                      const SolverOptions& options,
+                                      std::size_t max_feasible) {
+  return enumerate_bindings(spec.compiled(), alloc, eca, options,
+                            max_feasible);
 }
 
 }  // namespace sdf

@@ -4,6 +4,7 @@
 
 #include "flex/activatability.hpp"
 #include "flex/flexibility.hpp"
+#include "spec/compiled.hpp"
 
 namespace sdf {
 
@@ -29,29 +30,29 @@ std::vector<Eca> Implementation::minimal_cover(
 }
 
 std::optional<Implementation> build_implementation(
-    const SpecificationGraph& spec, const AllocSet& alloc,
+    const CompiledSpec& cs, const AllocSet& alloc,
     const ImplementationOptions& options, ImplementationStats* stats) {
   ImplementationStats local;
   ImplementationStats& st = stats != nullptr ? *stats : local;
 
-  const Activatability act(spec, alloc);
+  const Activatability act(cs, alloc);
   if (!act.root_activatable()) return std::nullopt;
 
   const std::vector<Eca> ecas =
-      enumerate_ecas(spec.problem(), act.clusters(), options.eca_limit);
+      enumerate_ecas(cs.problem(), act.clusters(), options.eca_limit);
   st.ecas_enumerated += ecas.size();
   if (ecas.empty()) return std::nullopt;
 
   Implementation impl;
   impl.units = alloc;
-  impl.cost = spec.allocation_cost(alloc);
-  impl.implemented_clusters = spec.problem().make_cluster_set();
+  impl.cost = cs.allocation_cost(alloc);
+  impl.implemented_clusters = cs.problem().make_cluster_set();
 
   for (const Eca& eca : ecas) {
     SolverStats ss;
     ++st.solver_calls;
     std::optional<Binding> binding =
-        solve_binding(spec, alloc, eca, options.solver, &ss);
+        solve_binding(cs, alloc, eca, options.solver, &ss);
     st.solver_nodes += ss.nodes;
     if (!binding.has_value()) continue;
     for (ClusterId c : eca.clusters)
@@ -60,8 +61,14 @@ std::optional<Implementation> build_implementation(
   }
 
   if (impl.ecas.empty()) return std::nullopt;
-  impl.flexibility = flexibility(spec.problem(), impl.implemented_clusters);
+  impl.flexibility = flexibility(cs.problem(), impl.implemented_clusters);
   return impl;
+}
+
+std::optional<Implementation> build_implementation(
+    const SpecificationGraph& spec, const AllocSet& alloc,
+    const ImplementationOptions& options, ImplementationStats* stats) {
+  return build_implementation(spec.compiled(), alloc, options, stats);
 }
 
 }  // namespace sdf

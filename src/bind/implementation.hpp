@@ -67,7 +67,13 @@ struct ImplementationStats {
 /// enumerates the elementary cluster activations of the activatable
 /// clusters, solves the binding problem for each, and aggregates the
 /// feasible ones.  Returns nullopt when no elementary activation is
-/// feasible (the allocation implements nothing).
+/// feasible (the allocation implements nothing).  The compiled form is the
+/// hot path of EXPLORE's inner loop; the `SpecificationGraph` form is a
+/// shim over `spec.compiled()`.
+[[nodiscard]] std::optional<Implementation> build_implementation(
+    const CompiledSpec& cs, const AllocSet& alloc,
+    const ImplementationOptions& options = {},
+    ImplementationStats* stats = nullptr);
 [[nodiscard]] std::optional<Implementation> build_implementation(
     const SpecificationGraph& spec, const AllocSet& alloc,
     const ImplementationOptions& options = {},

@@ -1,7 +1,8 @@
 #include "bind/solver.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+
+#include "spec/compiled.hpp"
 
 namespace sdf {
 namespace {
@@ -15,61 +16,31 @@ struct Candidate {
 
 class BindingSearch {
  public:
-  BindingSearch(const SpecificationGraph& spec, const AllocSet& alloc,
-                const FlatGraph& flat, const SolverOptions& options,
+  BindingSearch(const CompiledSpec& cs, const AllocSet& alloc,
+                const CompiledFlat& flat, const SolverOptions& options,
                 SolverStats& stats)
-      : spec_(spec),
+      : cs_(cs),
         alloc_(alloc),
         flat_(flat),
         options_(options),
         stats_(stats),
-        unit_load_(spec.alloc_units().size(), 0.0) {}
+        capacity_(cs.unit_capacities()),
+        unit_load_(cs.unit_count(), 0.0),
+        unit_used_(cs.unit_count(), 0.0) {}
 
   std::optional<Binding> run() {
-    const HierarchicalGraph& p = spec_.problem();
-    processes_ = flat_.vertices;
-    const std::size_t n = processes_.size();
-    index_of_.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) index_of_[processes_[i]] = i;
+    const std::vector<NodeId>& processes = flat_.graph.vertices;
+    const std::size_t n = processes.size();
 
-    // Static candidate lists (allocated targets only).
+    // Static candidate lists (allocated targets only), filtered per
+    // allocation from the compiled domain skeleton.
     domains_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      for (const MappingEdge& m : spec_.mappings_of(processes_[i])) {
-        const AllocUnitId u = spec_.unit_of_resource(m.resource);
-        if (u.valid() && alloc_.test(u.index()))
-          domains_[i].push_back(Candidate{m.resource, u, m.latency});
-      }
+      for (const CompiledMapping& m : cs_.mappings_of(processes[i]))
+        if (m.unit.valid() && alloc_.test(m.unit.index()))
+          domains_[i].push_back(Candidate{m.resource, m.unit, m.latency});
       if (domains_[i].empty()) return std::nullopt;  // rule 2 unsatisfiable
     }
-
-    // Adjacency of the flattened dependence edges, by process index.
-    adj_.resize(n);
-    for (const auto& [from, to] : flat_.edges) {
-      const std::size_t a = index_of_.at(from);
-      const std::size_t b = index_of_.at(to);
-      adj_[a].push_back(b);
-      adj_[b].push_back(a);
-    }
-
-    // Timing demand of each process (0 = unconstrained).
-    demand_.resize(n, 0.0);
-    footprint_.resize(n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double period = p.attr_or(processes_[i], attr::kPeriod, 0.0);
-      const double weight =
-          p.attr_or(processes_[i], attr::kTimingWeight, 1.0);
-      if (period > 0.0 && weight > 0.0) demand_[i] = weight / period;
-      footprint_[i] = p.attr_or(processes_[i], attr::kFootprint, 0.0);
-    }
-
-    // Capacities per unit (0 = unlimited).
-    capacity_.resize(spec_.alloc_units().size(), 0.0);
-    if (options_.enforce_capacities) {
-      for (const AllocUnit& u : spec_.alloc_units())
-        capacity_[u.id.index()] = unit_capacity(spec_, u.id);
-    }
-    unit_used_.resize(spec_.alloc_units().size(), 0.0);
 
     assignment_.assign(n, kUnassigned);
     if (!search(0)) return std::nullopt;
@@ -77,7 +48,7 @@ class BindingSearch {
     Binding b;
     for (std::size_t i = 0; i < n; ++i) {
       const Candidate& c = domains_[i][assignment_[i]];
-      b.assign(BindingAssignment{processes_[i], c.resource, c.unit,
+      b.assign(BindingAssignment{processes[i], c.resource, c.unit,
                                  c.latency});
     }
     return b;
@@ -97,7 +68,7 @@ class BindingSearch {
 
   bool consistent(std::size_t i, std::size_t ci) const {
     const Candidate& c = domains_[i][ci];
-    const auto& units = spec_.alloc_units();
+    const std::vector<AllocUnit>& units = cs_.units();
     const AllocUnit& unit = units[c.unit.index()];
 
     // Exclusive configurations: another assigned process may not use a
@@ -113,25 +84,26 @@ class BindingSearch {
     }
 
     // Communication with already-assigned neighbors.
-    for (std::size_t j : adj_[i]) {
+    for (std::size_t j : flat_.adj[i]) {
       if (assignment_[j] == kUnassigned) continue;
       const AllocUnitId other = domains_[j][assignment_[j]].unit;
       if (other == c.unit) continue;
-      if (!units_can_communicate(spec_, alloc_, c.unit, other,
+      if (!units_can_communicate(cs_, alloc_, c.unit, other,
                                  options_.comm_model))
         return false;
     }
 
     // Utilization bound.
-    if (options_.utilization_bound > 0.0 && demand_[i] > 0.0) {
-      const double load = unit_load_[c.unit.index()] + demand_[i] * c.latency;
+    if (options_.utilization_bound > 0.0 && flat_.demand[i] > 0.0) {
+      const double load =
+          unit_load_[c.unit.index()] + flat_.demand[i] * c.latency;
       if (load > options_.utilization_bound + 1e-9) return false;
     }
 
     // Capacity constraint.
-    if (options_.enforce_capacities && footprint_[i] > 0.0 &&
+    if (options_.enforce_capacities && flat_.footprint[i] > 0.0 &&
         capacity_[c.unit.index()] > 0.0) {
-      const double used = unit_used_[c.unit.index()] + footprint_[i];
+      const double used = unit_used_[c.unit.index()] + flat_.footprint[i];
       if (used > capacity_[c.unit.index()] + 1e-9) return false;
     }
     return true;
@@ -142,12 +114,12 @@ class BindingSearch {
       stats_.aborted = true;
       return false;
     }
-    if (depth == processes_.size()) return true;
+    if (depth == flat_.graph.vertices.size()) return true;
 
     // MRV: unassigned process with the fewest consistent candidates.
     std::size_t best = kUnassigned;
     std::vector<std::size_t> best_cands;
-    for (std::size_t i = 0; i < processes_.size(); ++i) {
+    for (std::size_t i = 0; i < flat_.graph.vertices.size(); ++i) {
       if (assignment_[i] != kUnassigned) continue;
       std::vector<std::size_t> cands = consistent_candidates(i);
       if (cands.empty()) return false;  // forward-checking wipeout
@@ -162,30 +134,25 @@ class BindingSearch {
       ++stats_.nodes;
       assignment_[best] = ci;
       const Candidate& c = domains_[best][ci];
-      unit_load_[c.unit.index()] += demand_[best] * c.latency;
-      unit_used_[c.unit.index()] += footprint_[best];
+      unit_load_[c.unit.index()] += flat_.demand[best] * c.latency;
+      unit_used_[c.unit.index()] += flat_.footprint[best];
       if (search(depth + 1)) return true;
-      unit_load_[c.unit.index()] -= demand_[best] * c.latency;
-      unit_used_[c.unit.index()] -= footprint_[best];
+      unit_load_[c.unit.index()] -= flat_.demand[best] * c.latency;
+      unit_used_[c.unit.index()] -= flat_.footprint[best];
       assignment_[best] = kUnassigned;
       ++stats_.backtracks;
     }
     return false;
   }
 
-  const SpecificationGraph& spec_;
+  const CompiledSpec& cs_;
   const AllocSet& alloc_;
-  const FlatGraph& flat_;
+  const CompiledFlat& flat_;
   const SolverOptions& options_;
   SolverStats& stats_;
 
-  std::vector<NodeId> processes_;
-  std::unordered_map<NodeId, std::size_t> index_of_;
   std::vector<std::vector<Candidate>> domains_;
-  std::vector<std::vector<std::size_t>> adj_;
-  std::vector<double> demand_;
-  std::vector<double> footprint_;
-  std::vector<double> capacity_;
+  const std::vector<double>& capacity_;
   std::vector<std::size_t> assignment_;
   std::vector<double> unit_load_;
   std::vector<double> unit_used_;
@@ -193,44 +160,60 @@ class BindingSearch {
 
 }  // namespace
 
+std::optional<Binding> solve_binding(const CompiledSpec& cs,
+                                     const AllocSet& alloc, const Eca& eca,
+                                     const SolverOptions& options,
+                                     SolverStats* stats) {
+  const CompiledFlat* flat = cs.flat(eca.selection);
+  if (flat == nullptr) return std::nullopt;
+  SolverStats local;
+  SolverStats& s = stats != nullptr ? *stats : local;
+  return BindingSearch(cs, alloc, *flat, options, s).run();
+}
+
 std::optional<Binding> solve_binding(const SpecificationGraph& spec,
                                      const AllocSet& alloc, const Eca& eca,
                                      const SolverOptions& options,
                                      SolverStats* stats) {
-  Result<FlatGraph> flat = flatten(spec.problem(), eca.selection);
-  if (!flat.ok()) return std::nullopt;
-  SolverStats local;
-  SolverStats& s = stats != nullptr ? *stats : local;
-  return BindingSearch(spec, alloc, flat.value(), options, s).run();
+  return solve_binding(spec.compiled(), alloc, eca, options, stats);
+}
+
+std::vector<double> unit_footprints(const CompiledSpec& cs,
+                                    const Binding& binding) {
+  std::vector<double> used(cs.unit_count(), 0.0);
+  for (const BindingAssignment& a : binding.assignments())
+    used[a.unit.index()] += cs.footprint(a.process);
+  return used;
 }
 
 std::vector<double> unit_footprints(const SpecificationGraph& spec,
                                     const Binding& binding) {
-  std::vector<double> used(spec.alloc_units().size(), 0.0);
-  for (const BindingAssignment& a : binding.assignments())
-    used[a.unit.index()] +=
-        spec.problem().attr_or(a.process, attr::kFootprint, 0.0);
-  return used;
+  return unit_footprints(spec.compiled(), binding);
+}
+
+double unit_capacity(const CompiledSpec& cs, AllocUnitId unit) {
+  return cs.unit_capacity(unit);
 }
 
 double unit_capacity(const SpecificationGraph& spec, AllocUnitId unit) {
-  const AllocUnit& u = spec.alloc_units()[unit.index()];
-  return u.is_cluster_unit()
-             ? spec.architecture().attr_or(u.cluster, attr::kCapacity, 0.0)
-             : spec.architecture().attr_or(u.vertex, attr::kCapacity, 0.0);
+  return spec.compiled().unit_capacity(unit);
 }
 
-std::vector<double> unit_utilizations(const SpecificationGraph& spec,
+std::vector<double> unit_utilizations(const CompiledSpec& cs,
                                       const Binding& binding) {
-  std::vector<double> load(spec.alloc_units().size(), 0.0);
-  const HierarchicalGraph& p = spec.problem();
+  std::vector<double> load(cs.unit_count(), 0.0);
   for (const BindingAssignment& a : binding.assignments()) {
-    const double period = p.attr_or(a.process, attr::kPeriod, 0.0);
-    const double weight = p.attr_or(a.process, attr::kTimingWeight, 1.0);
+    const double period = cs.period(a.process);
+    const double weight = cs.timing_weight(a.process);
     if (period > 0.0 && weight > 0.0)
       load[a.unit.index()] += weight * a.latency / period;
   }
   return load;
+}
+
+std::vector<double> unit_utilizations(const SpecificationGraph& spec,
+                                      const Binding& binding) {
+  return unit_utilizations(spec.compiled(), binding);
 }
 
 }  // namespace sdf

@@ -13,7 +13,8 @@
 // Layering (each header is independently includable):
 //   util/        ids, bitsets, RNG, JSON, tables
 //   graph/       hierarchical graphs (Def. 1), flattening, validation, DOT
-//   spec/        specification graphs G_S = (G_P, G_A, E_M), builders, I/O
+//   spec/        specification graphs G_S = (G_P, G_A, E_M), builders, I/O,
+//                and the CompiledSpec query index (spec/compiled.hpp)
 //   activation/  hierarchical timed activation and timelines (§2)
 //   flex/        the flexibility metric (Def. 4) and its estimation (§4)
 //   bind/        allocations/bindings (Defs. 2-3), ECAs, the binding solver
@@ -21,6 +22,14 @@
 //   moo/         Pareto fronts and quality indicators
 //   explore/     EXPLORE, exhaustive and evolutionary explorers (§4)
 //   gen/         synthetic specification generator
+//
+// Spec queries come in two forms.  `SpecificationGraph` offers convenience
+// methods (mappings_of, allocation_cost, comm_reachable, ...) that are thin
+// shims over a lazily built, mutation-invalidated `CompiledSpec`; engines
+// with a hot loop (flex/bind/explore/lint) instead fetch
+// `spec.compiled()` once and query the immutable index directly — every
+// function in those layers therefore has a `const CompiledSpec&` overload
+// next to the `const SpecificationGraph&` one.
 #pragma once
 
 #include "activation/activation_state.hpp"
@@ -66,6 +75,7 @@
 #include "sched/utilization.hpp"
 #include "spec/attributes.hpp"
 #include "spec/builder.hpp"
+#include "spec/compiled.hpp"
 #include "spec/paper_models.hpp"
 #include "spec/spec_dot.hpp"
 #include "spec/spec_io.hpp"

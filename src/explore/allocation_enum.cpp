@@ -3,16 +3,17 @@
 #include <algorithm>
 
 #include "flex/activatability.hpp"
+#include "spec/compiled.hpp"
 
 namespace sdf {
 
-CostOrderedAllocations::CostOrderedAllocations(const SpecificationGraph& spec)
-    : CostOrderedAllocations(spec, spec.make_alloc_set()) {}
+CostOrderedAllocations::CostOrderedAllocations(const CompiledSpec& cs)
+    : CostOrderedAllocations(cs, cs.make_alloc_set()) {}
 
-CostOrderedAllocations::CostOrderedAllocations(const SpecificationGraph& spec,
+CostOrderedAllocations::CostOrderedAllocations(const CompiledSpec& cs,
                                                AllocSet base)
-    : spec_(spec), base_(std::move(base)) {
-  const auto& units = spec.alloc_units();
+    : base_(std::move(base)) {
+  const auto& units = cs.units();
   unit_cost_.reserve(units.size());
   // Units already in the base are never re-added: give them an effectively
   // infinite price and skip them during expansion (see next()).
@@ -20,6 +21,13 @@ CostOrderedAllocations::CostOrderedAllocations(const SpecificationGraph& spec,
     unit_cost_.push_back(base_.test(u.id.index()) ? -1.0 : u.cost);
   queue_.push(State{0.0, {}, static_cast<std::uint32_t>(-1)});
 }
+
+CostOrderedAllocations::CostOrderedAllocations(const SpecificationGraph& spec)
+    : CostOrderedAllocations(spec.compiled()) {}
+
+CostOrderedAllocations::CostOrderedAllocations(const SpecificationGraph& spec,
+                                               AllocSet base)
+    : CostOrderedAllocations(spec.compiled(), std::move(base)) {}
 
 AllocSet CostOrderedAllocations::to_set(
     const std::vector<std::uint32_t>& members) const {
@@ -68,42 +76,22 @@ std::optional<AllocSet> CostOrderedAllocations::next() {
   return to_set(state.members);
 }
 
-DominanceContext::DominanceContext(const SpecificationGraph& spec) {
-  const auto& units = spec.alloc_units();
-  const HierarchicalGraph& arch = spec.architecture();
-
-  // Which units can any problem leaf map to at all?  One scan of the
-  // mapping edges, shared by every candidate.
-  mappable_unit = DynBitset(units.size());
-  for (const MappingEdge& m : spec.mappings()) {
-    const AllocUnitId u = spec.unit_of_resource(m.resource);
-    if (u.valid()) mappable_unit.set(u.index());
-  }
-
-  // Deduplicated architecture neighborhood of each comm unit's top node.
-  neighbor_tops.resize(units.size());
-  for (const AllocUnit& u : units) {
-    if (!u.is_comm) continue;
-    std::vector<NodeId>& neighbors = neighbor_tops[u.id.index()];
-    DynBitset seen(arch.node_count());
-    auto visit = [&](NodeId other) {
-      if (seen.test(other.index())) return;
-      seen.set(other.index());
-      neighbors.push_back(other);
-    };
-    for (EdgeId eid : arch.node(u.top).out_edges) visit(arch.edge(eid).to);
-    for (EdgeId eid : arch.node(u.top).in_edges) visit(arch.edge(eid).from);
-  }
+DominanceContext::DominanceContext(const CompiledSpec& cs)
+    : mappable_unit(cs.mappable_units()) {
+  neighbor_tops.resize(cs.unit_count());
+  for (std::size_t i = 0; i < neighbor_tops.size(); ++i)
+    neighbor_tops[i] = cs.comm_neighbor_tops(AllocUnitId{i});
 }
 
-bool obviously_dominated(const SpecificationGraph& spec,
-                         const DominanceContext& ctx, const AllocSet& alloc,
-                         const AllocSet* scope) {
-  const auto& units = spec.alloc_units();
-  const HierarchicalGraph& arch = spec.architecture();
+DominanceContext::DominanceContext(const SpecificationGraph& spec)
+    : DominanceContext(spec.compiled()) {}
+
+bool obviously_dominated(const CompiledSpec& cs, const DominanceContext& ctx,
+                         const AllocSet& alloc, const AllocSet* scope) {
+  const auto& units = cs.units();
 
   // Which top-level architecture nodes host an allocated functional unit?
-  DynBitset functional_tops(arch.node_count());
+  DynBitset functional_tops(cs.architecture().node_count());
   alloc.for_each([&](std::size_t i) {
     if (!units[i].is_comm) functional_tops.set(units[i].top.index());
   });
@@ -129,27 +117,41 @@ bool obviously_dominated(const SpecificationGraph& spec,
 }
 
 bool obviously_dominated(const SpecificationGraph& spec,
+                         const DominanceContext& ctx, const AllocSet& alloc,
+                         const AllocSet* scope) {
+  return obviously_dominated(spec.compiled(), ctx, alloc, scope);
+}
+
+bool obviously_dominated(const SpecificationGraph& spec,
                          const AllocSet& alloc, const AllocSet* scope) {
-  return obviously_dominated(spec, DominanceContext(spec), alloc, scope);
+  const CompiledSpec& cs = spec.compiled();
+  return obviously_dominated(cs, DominanceContext(cs), alloc, scope);
+}
+
+std::vector<AllocSet> enumerate_possible_allocations(
+    const CompiledSpec& cs, bool apply_dominance_filter,
+    std::size_t max_universe) {
+  const std::size_t n = cs.unit_count();
+  SDF_CHECK(n <= max_universe,
+            "unit universe too large for eager enumeration");
+
+  std::vector<AllocSet> out;
+  const DominanceContext ctx(cs);
+  CostOrderedAllocations stream(cs);
+  while (std::optional<AllocSet> a = stream.next()) {
+    if (a->none()) continue;
+    if (apply_dominance_filter && obviously_dominated(cs, ctx, *a)) continue;
+    if (!is_possible_allocation(cs, *a)) continue;
+    out.push_back(std::move(*a));
+  }
+  return out;
 }
 
 std::vector<AllocSet> enumerate_possible_allocations(
     const SpecificationGraph& spec, bool apply_dominance_filter,
     std::size_t max_universe) {
-  const std::size_t n = spec.alloc_units().size();
-  SDF_CHECK(n <= max_universe,
-            "unit universe too large for eager enumeration");
-
-  std::vector<AllocSet> out;
-  const DominanceContext ctx(spec);
-  CostOrderedAllocations stream(spec);
-  while (std::optional<AllocSet> a = stream.next()) {
-    if (a->none()) continue;
-    if (apply_dominance_filter && obviously_dominated(spec, ctx, *a)) continue;
-    if (!is_possible_allocation(spec, *a)) continue;
-    out.push_back(std::move(*a));
-  }
-  return out;
+  return enumerate_possible_allocations(spec.compiled(),
+                                        apply_dominance_filter, max_universe);
 }
 
 }  // namespace sdf

@@ -25,14 +25,18 @@
 
 namespace sdf {
 
+class CompiledSpec;
+
 class CostOrderedAllocations {
  public:
+  explicit CostOrderedAllocations(const CompiledSpec& cs);
   explicit CostOrderedAllocations(const SpecificationGraph& spec);
 
   /// Variant with a frozen base: every emitted allocation contains `base`,
   /// only units outside `base` are added, and the enumeration order is by
   /// *incremental* cost (the added units only).  Used by the incremental
   /// explorer to search platform upgrades.
+  CostOrderedAllocations(const CompiledSpec& cs, AllocSet base);
   CostOrderedAllocations(const SpecificationGraph& spec, AllocSet base);
 
   /// Optional subtree bound.  Called with the optimistic completion of a
@@ -65,7 +69,6 @@ class CostOrderedAllocations {
 
   [[nodiscard]] AllocSet to_set(const std::vector<std::uint32_t>& members) const;
 
-  const SpecificationGraph& spec_;
   AllocSet base_;
   std::vector<double> unit_cost_;
   std::priority_queue<State, std::vector<State>, StateGreater> queue_;
@@ -81,6 +84,9 @@ class CostOrderedAllocations {
 /// All exploration engines build one of these up front and reuse it for
 /// every candidate.
 struct DominanceContext {
+  /// The compiled form copies the index's precomputed bitset and adjacency
+  /// lists; the `SpecificationGraph` form is a shim over `spec.compiled()`.
+  explicit DominanceContext(const CompiledSpec& cs);
   explicit DominanceContext(const SpecificationGraph& spec);
 
   /// Units at least one problem-graph process can map to.
@@ -95,6 +101,10 @@ struct DominanceContext {
 /// the units in `scope` are examined (adjacency is always judged in the
 /// full allocation) — the incremental explorer uses this to exempt the
 /// already-deployed platform, which is a sunk cost.
+[[nodiscard]] bool obviously_dominated(const CompiledSpec& cs,
+                                       const DominanceContext& ctx,
+                                       const AllocSet& alloc,
+                                       const AllocSet* scope = nullptr);
 [[nodiscard]] bool obviously_dominated(const SpecificationGraph& spec,
                                        const DominanceContext& ctx,
                                        const AllocSet& alloc,
@@ -110,6 +120,9 @@ struct DominanceContext {
 /// admitting at least one complete problem activation by reachability,
 /// §4), ascending by cost.  Exponential in the universe — intended for the
 /// paper-sized examples; aborts via SDF_CHECK above `max_universe` units.
+[[nodiscard]] std::vector<AllocSet> enumerate_possible_allocations(
+    const CompiledSpec& cs, bool apply_dominance_filter = false,
+    std::size_t max_universe = 24);
 [[nodiscard]] std::vector<AllocSet> enumerate_possible_allocations(
     const SpecificationGraph& spec, bool apply_dominance_filter = false,
     std::size_t max_universe = 24);

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "moo/pareto.hpp"
+#include "spec/compiled.hpp"
 #include "util/rng.hpp"
 
 namespace sdf {
@@ -36,7 +37,8 @@ bool better(const Evaluated& a, const Evaluated& b) {
 EaResult explore_evolutionary(const SpecificationGraph& spec,
                               const EaOptions& options) {
   const auto t0 = std::chrono::steady_clock::now();
-  const std::size_t n = spec.alloc_units().size();
+  const CompiledSpec& cs = spec.compiled();
+  const std::size_t n = cs.unit_count();
   Rng rng(options.seed);
   const double mutation =
       options.mutation_rate > 0.0
@@ -51,10 +53,10 @@ EaResult explore_evolutionary(const SpecificationGraph& spec,
   auto evaluate = [&](const AllocSet& genome) {
     Evaluated e;
     e.genome = genome;
-    e.cost = spec.allocation_cost(genome);
+    e.cost = cs.allocation_cost(genome);
     ++result.stats.evaluations;
     std::optional<Implementation> impl =
-        build_implementation(spec, genome, options.implementation);
+        build_implementation(cs, genome, options.implementation);
     if (impl.has_value()) {
       ++result.stats.feasible_evaluations;
       e.feasible = true;
@@ -73,7 +75,7 @@ EaResult explore_evolutionary(const SpecificationGraph& spec,
   std::vector<Evaluated> population;
   population.reserve(options.population);
   for (std::size_t i = 0; i < options.population; ++i) {
-    AllocSet g = spec.make_alloc_set();
+    AllocSet g = cs.make_alloc_set();
     const double density = rng.uniform_double(0.1, 0.8);
     for (std::size_t b = 0; b < n; ++b)
       if (rng.chance(density)) g.set(b);
@@ -92,7 +94,7 @@ EaResult explore_evolutionary(const SpecificationGraph& spec,
     while (offspring.size() < options.population) {
       const Evaluated& p1 = tournament();
       const Evaluated& p2 = tournament();
-      AllocSet child = spec.make_alloc_set();
+      AllocSet child = cs.make_alloc_set();
       if (rng.chance(options.crossover_rate)) {
         for (std::size_t b = 0; b < n; ++b) {
           const bool bit =

@@ -4,13 +4,15 @@
 #include <chrono>
 
 #include "moo/pareto.hpp"
+#include "spec/compiled.hpp"
 
 namespace sdf {
 
 ExhaustiveResult explore_exhaustive(const SpecificationGraph& spec,
                                     const ImplementationOptions& options,
                                     std::size_t max_universe) {
-  const std::size_t n = spec.alloc_units().size();
+  const CompiledSpec& cs = spec.compiled();
+  const std::size_t n = cs.unit_count();
   SDF_CHECK(n <= max_universe, "universe too large for exhaustive search");
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -19,14 +21,14 @@ ExhaustiveResult explore_exhaustive(const SpecificationGraph& spec,
   std::vector<Implementation> feasible;
   for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {
     ++result.stats.subsets;
-    AllocSet a = spec.make_alloc_set();
+    AllocSet a = cs.make_alloc_set();
     for (std::size_t i = 0; i < n; ++i)
       if (mask & (std::uint64_t{1} << i)) a.set(i);
 
     ++result.stats.implementation_attempts;
     ImplementationStats istats;
     std::optional<Implementation> impl =
-        build_implementation(spec, a, options, &istats);
+        build_implementation(cs, a, options, &istats);
     result.stats.solver_calls += istats.solver_calls;
     if (impl.has_value()) feasible.push_back(std::move(*impl));
   }

@@ -6,6 +6,7 @@
 #include "explore/allocation_enum.hpp"
 #include "flex/activatability.hpp"
 #include "flex/flexibility.hpp"
+#include "spec/compiled.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -25,8 +26,14 @@ ExploreResult explore(const SpecificationGraph& spec,
   const auto t0 = std::chrono::steady_clock::now();
 
   ExploreResult result;
-  result.max_flexibility = max_flexibility(spec.problem());
-  result.stats.universe = spec.alloc_units().size();
+  // Warm the compiled query index once up front; every downstream phase
+  // (dominance filter, activatability, solver) reads from it.
+  const CompiledSpec& cs = spec.compiled();
+  result.stats.index_build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  result.max_flexibility = max_flexibility(cs.problem());
+  result.stats.universe = cs.unit_count();
   result.stats.raw_design_points =
       std::pow(2.0, static_cast<double>(result.stats.universe));
 
@@ -34,13 +41,13 @@ ExploreResult explore(const SpecificationGraph& spec,
   // When collecting equivalents, the search ends after walking through the
   // cost tie of the maximal-flexibility point; -1 = not yet reached.
   double max_tie_cost = -1.0;
-  const DominanceContext dominance(spec);
-  CostOrderedAllocations stream(spec);
+  const DominanceContext dominance(cs);
+  CostOrderedAllocations stream(cs);
   if (options.use_branch_bound) {
     stream.set_branch_bound([&, collect = options.collect_equivalents](
                                 const AllocSet& potential) {
       if (f_cur <= 0.0) return true;  // nothing to beat yet
-      const std::optional<double> est = estimate_flexibility(spec, potential);
+      const std::optional<double> est = estimate_flexibility(cs, potential);
       if (!est.has_value()) return false;
       // Equivalent collection must keep subtrees that can still *tie* the
       // incumbent, not only beat it.
@@ -54,16 +61,16 @@ ExploreResult explore(const SpecificationGraph& spec,
     if (options.max_candidates != 0 &&
         result.stats.candidates_generated > options.max_candidates)
       break;
-    if (max_tie_cost >= 0.0 && spec.allocation_cost(*a) > max_tie_cost)
+    if (max_tie_cost >= 0.0 && cs.allocation_cost(*a) > max_tie_cost)
       break;
 
     if (options.prune_dominated_allocations &&
-        obviously_dominated(spec, dominance, *a)) {
+        obviously_dominated(cs, dominance, *a)) {
       ++result.stats.dominated_skipped;
       continue;
     }
 
-    const Activatability act(spec, *a);
+    const Activatability act(cs, *a);
     if (!act.root_activatable()) continue;
     ++result.stats.possible_allocations;
 
@@ -80,7 +87,7 @@ ExploreResult explore(const SpecificationGraph& spec,
     ++result.stats.implementation_attempts;
     ImplementationStats istats;
     std::optional<Implementation> impl =
-        build_implementation(spec, *a, options.implementation, &istats);
+        build_implementation(cs, *a, options.implementation, &istats);
     result.stats.solver_calls += istats.solver_calls;
     result.stats.solver_nodes += istats.solver_nodes;
 

@@ -71,6 +71,9 @@ struct ExploreStats {
   std::uint64_t branches_pruned = 0;
   bool exhausted = false;              ///< stream ran dry (vs. early stop)
   double wall_seconds = 0.0;
+  /// Time spent building (or revalidating) the spec's compiled query index
+  /// before the candidate loop; included in `wall_seconds`.
+  double index_build_seconds = 0.0;
 
   // ---- parallel-engine extras (zero for the sequential engine) -------------
   std::size_t threads = 0;             ///< evaluation threads actually used

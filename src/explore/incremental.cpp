@@ -6,6 +6,7 @@
 #include "explore/allocation_enum.hpp"
 #include "flex/activatability.hpp"
 #include "flex/flexibility.hpp"
+#include "spec/compiled.hpp"
 
 namespace sdf {
 
@@ -15,23 +16,27 @@ UpgradeResult explore_upgrades(const SpecificationGraph& spec,
   const auto t0 = std::chrono::steady_clock::now();
 
   UpgradeResult result;
-  result.max_flexibility = max_flexibility(spec.problem());
-  result.stats.universe = spec.alloc_units().size() - existing.count();
+  const CompiledSpec& cs = spec.compiled();
+  result.stats.index_build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  result.max_flexibility = max_flexibility(cs.problem());
+  result.stats.universe = cs.unit_count() - existing.count();
   result.stats.raw_design_points =
       std::pow(2.0, static_cast<double>(result.stats.universe));
 
   if (const auto base =
-          build_implementation(spec, existing, options.implementation)) {
+          build_implementation(cs, existing, options.implementation)) {
     result.baseline_flexibility = base->flexibility;
   }
 
   double f_cur = result.baseline_flexibility;
-  const DominanceContext dominance(spec);
-  CostOrderedAllocations stream(spec, existing);
+  const DominanceContext dominance(cs);
+  CostOrderedAllocations stream(cs, existing);
   if (options.use_branch_bound) {
     stream.set_branch_bound([&](const AllocSet& potential) {
       if (f_cur <= 0.0) return true;
-      const std::optional<double> est = estimate_flexibility(spec, potential);
+      const std::optional<double> est = estimate_flexibility(cs, potential);
       return est.has_value() && *est > f_cur;
     });
   }
@@ -48,13 +53,13 @@ UpgradeResult explore_upgrades(const SpecificationGraph& spec,
       // and may legitimately contain resources the upgrade does not use.
       AllocSet added = *a;
       added -= existing;
-      if (obviously_dominated(spec, dominance, *a, &added)) {
+      if (obviously_dominated(cs, dominance, *a, &added)) {
         ++result.stats.dominated_skipped;
         continue;
       }
     }
 
-    const Activatability act(spec, *a);
+    const Activatability act(cs, *a);
     if (!act.root_activatable()) continue;
     ++result.stats.possible_allocations;
 
@@ -68,7 +73,7 @@ UpgradeResult explore_upgrades(const SpecificationGraph& spec,
     ++result.stats.implementation_attempts;
     ImplementationStats istats;
     std::optional<Implementation> impl =
-        build_implementation(spec, *a, options.implementation, &istats);
+        build_implementation(cs, *a, options.implementation, &istats);
     result.stats.solver_calls += istats.solver_calls;
     result.stats.solver_nodes += istats.solver_nodes;
     if (!impl.has_value() || impl->flexibility <= f_cur) continue;
@@ -76,7 +81,7 @@ UpgradeResult explore_upgrades(const SpecificationGraph& spec,
     // Includes any device interface newly brought in by an added
     // configuration (charged once, like allocation_cost itself).
     const double upgrade_cost =
-        spec.allocation_cost(*a) - spec.allocation_cost(existing);
+        cs.allocation_cost(*a) - cs.allocation_cost(existing);
 
     while (!result.front.empty() &&
            result.front.back().upgrade_cost >= upgrade_cost)

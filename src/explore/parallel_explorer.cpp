@@ -10,6 +10,7 @@
 #include "explore/allocation_enum.hpp"
 #include "flex/activatability.hpp"
 #include "flex/flexibility.hpp"
+#include "spec/compiled.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -65,19 +66,19 @@ struct BandCandidate {
 /// front/incumbent mutation (those happen at merge).  `committed_f` is the
 /// incumbent after the last merged band; `level_best` shares implemented
 /// flexibilities between concurrent workers, per cost level.
-void evaluate_candidate(const SpecificationGraph& spec,
+void evaluate_candidate(const CompiledSpec& cs,
                         const ExploreOptions& options,
                         const DominanceContext& dominance, double committed_f,
                         std::vector<AtomicMax>& level_best,
                         BandCandidate& cand) {
   const auto t0 = Clock::now();
   if (options.prune_dominated_allocations &&
-      obviously_dominated(spec, dominance, cand.alloc)) {
+      obviously_dominated(cs, dominance, cand.alloc)) {
     ++cand.dominated_skipped;
     cand.filter_seconds = seconds_since(t0);
     return;
   }
-  const Activatability act(spec, cand.alloc);
+  const Activatability act(cs, cand.alloc);
   if (!act.root_activatable()) {
     cand.filter_seconds = seconds_since(t0);
     return;
@@ -114,7 +115,7 @@ void evaluate_candidate(const SpecificationGraph& spec,
   ++cand.implementation_attempts;
   ImplementationStats istats;
   std::optional<Implementation> impl =
-      build_implementation(spec, cand.alloc, options.implementation, &istats);
+      build_implementation(cs, cand.alloc, options.implementation, &istats);
   cand.solver_calls = istats.solver_calls;
   cand.solver_nodes = istats.solver_nodes;
   cand.implement_seconds = seconds_since(t1);
@@ -137,9 +138,13 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
                                  : std::max<std::size_t>(threads * 8, 16);
 
   ExploreResult result;
-  result.max_flexibility = max_flexibility(spec.problem());
-  // Also warms the spec's lazy unit cache before any worker reads it.
-  result.stats.universe = spec.alloc_units().size();
+  // Build (or revalidate) the compiled query index on the merge thread
+  // before any worker reads it; workers only ever touch immutable state
+  // (plus the internally synchronized flatten cache).
+  const CompiledSpec& cs = spec.compiled();
+  result.stats.index_build_seconds = seconds_since(t0);
+  result.max_flexibility = max_flexibility(cs.problem());
+  result.stats.universe = cs.unit_count();
   result.stats.raw_design_points =
       std::pow(2.0, static_cast<double>(result.stats.universe));
   result.stats.threads = threads;
@@ -147,8 +152,8 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
   double f_cur = 0.0;          // committed incumbent: merged candidates only
   double max_tie_cost = -1.0;  // collect_equivalents end-of-search tie cost
 
-  const DominanceContext dominance(spec);
-  CostOrderedAllocations stream(spec);
+  const DominanceContext dominance(cs);
+  CostOrderedAllocations stream(cs);
   if (options.use_branch_bound) {
     // Runs on the merge thread during band assembly, against the committed
     // incumbent — a (possibly stale) lower bound on the sequential f_cur at
@@ -156,7 +161,7 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
     stream.set_branch_bound([&, collect = options.collect_equivalents](
                                 const AllocSet& potential) {
       if (f_cur <= 0.0) return true;
-      const std::optional<double> est = estimate_flexibility(spec, potential);
+      const std::optional<double> est = estimate_flexibility(cs, potential);
       if (!est.has_value()) return false;
       return collect ? *est >= f_cur : *est > f_cur;
     });
@@ -189,7 +194,7 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
         last_band = true;
         break;
       }
-      const double cost = spec.allocation_cost(*a);
+      const double cost = cs.allocation_cost(*a);
       if (max_tie_cost >= 0.0 && cost > max_tie_cost) {
         last_band = true;
         break;
@@ -216,12 +221,12 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
     const double committed = f_cur;
     if (pool.has_value()) {
       pool->parallel_for(band.size(), [&](std::size_t i) {
-        evaluate_candidate(spec, options, dominance, committed, level_best,
+        evaluate_candidate(cs, options, dominance, committed, level_best,
                            band[i]);
       });
     } else {
       for (BandCandidate& cand : band)
-        evaluate_candidate(spec, options, dominance, committed, level_best,
+        evaluate_candidate(cs, options, dominance, committed, level_best,
                            cand);
     }
     result.stats.evaluate_seconds += seconds_since(te);

@@ -58,6 +58,8 @@ Json explore_result_to_json(const SpecificationGraph& spec,
   stats.emplace_back("solver_calls",
                      Json(static_cast<double>(result.stats.solver_calls)));
   stats.emplace_back("wall_seconds", Json(result.stats.wall_seconds));
+  stats.emplace_back("index_build_seconds",
+                     Json(result.stats.index_build_seconds));
   if (result.stats.threads != 0) {
     // Parallel-engine extras: band shape and the per-phase time breakdown.
     stats.emplace_back("threads", Json(result.stats.threads));

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "spec/compiled.hpp"
+
 namespace sdf {
 
 std::vector<AllocUnitId> SensitivityReport::redundant_units() const {
@@ -15,19 +17,20 @@ SensitivityReport flexibility_sensitivity(const SpecificationGraph& spec,
                                           const AllocSet& alloc,
                                           const ImplementationOptions& options) {
   SensitivityReport report;
+  const CompiledSpec& cs = spec.compiled();
   const std::optional<Implementation> full =
-      build_implementation(spec, alloc, options);
+      build_implementation(cs, alloc, options);
   report.flexibility = full.has_value() ? full->flexibility : 0.0;
 
   alloc.for_each([&](std::size_t i) {
     UnitSensitivity s;
     s.unit = AllocUnitId{i};
-    s.cost = spec.alloc_units()[i].cost;
+    s.cost = cs.unit(AllocUnitId{i}).cost;
 
     AllocSet without = alloc;
     without.reset(i);
     const std::optional<Implementation> reduced =
-        build_implementation(spec, without, options);
+        build_implementation(cs, without, options);
     if (reduced.has_value()) {
       s.flexibility_loss = report.flexibility - reduced->flexibility;
     } else {

@@ -8,6 +8,7 @@
 #include "explore/allocation_enum.hpp"
 #include "flex/activatability.hpp"
 #include "flex/flexibility.hpp"
+#include "spec/compiled.hpp"
 
 namespace sdf {
 namespace {
@@ -64,15 +65,19 @@ UncertainExploreResult explore_uncertain(
   const auto t0 = std::chrono::steady_clock::now();
 
   UncertainExploreResult result;
-  result.max_flexibility = max_flexibility(spec.problem());
-  result.stats.universe = spec.alloc_units().size();
+  const CompiledSpec& cs = spec.compiled();
+  result.stats.index_build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  result.max_flexibility = max_flexibility(cs.problem());
+  result.stats.universe = cs.unit_count();
   result.stats.raw_design_points =
       std::pow(2.0, static_cast<double>(result.stats.universe));
 
   // Smallest ratio lo/crisp across units: a lower bound that turns the
   // stream's crisp-cost order into a sound lo-cost stopping rule.
   double min_ratio = 1.0;
-  for (const AllocUnit& u : spec.alloc_units()) {
+  for (const AllocUnit& u : cs.units()) {
     if (u.cost <= 0.0) continue;
     const Interval iv = unit_cost_interval(spec, u, options);
     min_ratio = std::min(min_ratio, iv.lo / u.cost);
@@ -83,8 +88,8 @@ UncertainExploreResult explore_uncertain(
   // Best-case cost of the cheapest maximal-flexibility point found so far.
   double stop_hi = std::numeric_limits<double>::infinity();
 
-  const DominanceContext dominance(spec);
-  CostOrderedAllocations stream(spec);
+  const DominanceContext dominance(cs);
+  CostOrderedAllocations stream(cs);
   while (std::optional<AllocSet> a = stream.next()) {
     if (a->none()) continue;  // the empty base costs no candidate budget
     ++result.stats.candidates_generated;
@@ -92,16 +97,16 @@ UncertainExploreResult explore_uncertain(
         result.stats.candidates_generated > options.base.max_candidates)
       break;
 
-    const double crisp = spec.allocation_cost(*a);
+    const double crisp = cs.allocation_cost(*a);
     if (crisp * min_ratio > stop_hi) break;  // all later points dominated
 
     if (options.base.prune_dominated_allocations &&
-        obviously_dominated(spec, dominance, *a)) {
+        obviously_dominated(cs, dominance, *a)) {
       ++result.stats.dominated_skipped;
       continue;
     }
 
-    const Activatability act(spec, *a);
+    const Activatability act(cs, *a);
     if (!act.root_activatable()) continue;
     ++result.stats.possible_allocations;
     const std::optional<double> est = act.estimated_flexibility();
@@ -123,7 +128,7 @@ UncertainExploreResult explore_uncertain(
     ++result.stats.implementation_attempts;
     ImplementationStats istats;
     std::optional<Implementation> impl =
-        build_implementation(spec, *a, options.base.implementation, &istats);
+        build_implementation(cs, *a, options.base.implementation, &istats);
     result.stats.solver_calls += istats.solver_calls;
     result.stats.solver_nodes += istats.solver_nodes;
     if (!impl.has_value()) continue;

@@ -1,16 +1,18 @@
 #include "flex/activatability.hpp"
 
+#include "spec/compiled.hpp"
+
 namespace sdf {
 namespace {
 
 /// Recursive activatability per the header's definition.  `memo` caches by
 /// cluster index (tri-state: -1 unknown, 0 no, 1 yes).
-bool compute(const SpecificationGraph& spec, const AllocSet& alloc,
-             ClusterId cluster, std::vector<int>& memo) {
+bool compute(const CompiledSpec& cs, const AllocSet& alloc, ClusterId cluster,
+             std::vector<int>& memo) {
   int& slot = memo[cluster.index()];
   if (slot >= 0) return slot == 1;
 
-  const HierarchicalGraph& p = spec.problem();
+  const HierarchicalGraph& p = cs.problem();
   const Cluster& c = p.cluster(cluster);
   bool ok = true;
   for (NodeId nid : c.nodes) {
@@ -18,19 +20,14 @@ bool compute(const SpecificationGraph& spec, const AllocSet& alloc,
     if (n.is_interface()) {
       bool any = false;
       for (ClusterId sub : n.clusters)
-        if (compute(spec, alloc, sub, memo)) any = true;
+        if (compute(cs, alloc, sub, memo)) any = true;
       if (!any) {
         ok = false;
         break;
       }
-    } else {
-      bool reachable = false;
-      for (const AllocUnitId u : spec.reachable_units(nid))
-        if (alloc.test(u.index())) reachable = true;
-      if (!reachable) {
-        ok = false;
-        break;
-      }
+    } else if (!alloc.intersects(cs.reachable_units(nid))) {
+      ok = false;
+      break;
     }
   }
   slot = ok ? 1 : 0;
@@ -39,34 +36,46 @@ bool compute(const SpecificationGraph& spec, const AllocSet& alloc,
 
 }  // namespace
 
-Activatability::Activatability(const SpecificationGraph& spec,
-                               const AllocSet& alloc)
-    : spec_(spec), activatable_(spec.problem().cluster_count()) {
-  std::vector<int> memo(spec.problem().cluster_count(), -1);
-  root_ = compute(spec, alloc, spec.problem().root(), memo);
+Activatability::Activatability(const CompiledSpec& cs, const AllocSet& alloc)
+    : problem_(cs.problem()), activatable_(cs.problem().cluster_count()) {
+  std::vector<int> memo(problem_.cluster_count(), -1);
+  root_ = compute(cs, alloc, problem_.root(), memo);
   for (std::size_t i = 0; i < memo.size(); ++i) {
     // Clusters never visited by the recursion (because an enclosing
     // interface already failed) are evaluated on demand here so the bitset
     // is complete.
     if (memo[i] < 0)
-      compute(spec, alloc, ClusterId{i}, memo);
+      compute(cs, alloc, ClusterId{i}, memo);
     if (memo[i] == 1) activatable_.set(i);
   }
 }
 
+Activatability::Activatability(const SpecificationGraph& spec,
+                               const AllocSet& alloc)
+    : Activatability(spec.compiled(), alloc) {}
+
 std::optional<double> Activatability::estimated_flexibility() const {
   if (!root_) return std::nullopt;
-  return flexibility(spec_.problem(), activatable_);
+  return flexibility(problem_, activatable_);
+}
+
+std::optional<double> estimate_flexibility(const CompiledSpec& cs,
+                                           const AllocSet& alloc) {
+  return Activatability(cs, alloc).estimated_flexibility();
 }
 
 std::optional<double> estimate_flexibility(const SpecificationGraph& spec,
                                            const AllocSet& alloc) {
-  return Activatability(spec, alloc).estimated_flexibility();
+  return Activatability(spec.compiled(), alloc).estimated_flexibility();
+}
+
+bool is_possible_allocation(const CompiledSpec& cs, const AllocSet& alloc) {
+  return Activatability(cs, alloc).root_activatable();
 }
 
 bool is_possible_allocation(const SpecificationGraph& spec,
                             const AllocSet& alloc) {
-  return Activatability(spec, alloc).root_activatable();
+  return Activatability(spec.compiled(), alloc).root_activatable();
 }
 
 }  // namespace sdf

@@ -23,9 +23,15 @@
 
 namespace sdf {
 
+class CompiledSpec;
+
 /// Per-cluster activatability of the problem graph under `alloc`.
 class Activatability {
  public:
+  /// Preferred form: one bitset intersection per process against the
+  /// compiled reachable-unit sets, no per-call allocation.
+  Activatability(const CompiledSpec& cs, const AllocSet& alloc);
+  /// Shim over `spec.compiled()`.
   Activatability(const SpecificationGraph& spec, const AllocSet& alloc);
 
   /// True iff `cluster` (a problem-graph cluster) is activatable.
@@ -45,7 +51,7 @@ class Activatability {
   [[nodiscard]] std::optional<double> estimated_flexibility() const;
 
  private:
-  const SpecificationGraph& spec_;
+  const HierarchicalGraph& problem_;
   DynBitset activatable_;
   bool root_ = false;
 };
@@ -53,9 +59,13 @@ class Activatability {
 /// Convenience: the flexibility estimate of `alloc`, or `nullopt` when
 /// `alloc` is not a possible resource allocation.
 [[nodiscard]] std::optional<double> estimate_flexibility(
+    const CompiledSpec& cs, const AllocSet& alloc);
+[[nodiscard]] std::optional<double> estimate_flexibility(
     const SpecificationGraph& spec, const AllocSet& alloc);
 
 /// Convenience: possible-resource-allocation test (§4).
+[[nodiscard]] bool is_possible_allocation(const CompiledSpec& cs,
+                                          const AllocSet& alloc);
 [[nodiscard]] bool is_possible_allocation(const SpecificationGraph& spec,
                                           const AllocSet& alloc);
 

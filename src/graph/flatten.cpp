@@ -17,6 +17,16 @@ ClusterId ClusterSelection::selected(NodeId iface) const {
   return it == choice_.end() ? ClusterId{} : it->second;
 }
 
+std::vector<std::pair<std::uint32_t, std::uint32_t>> ClusterSelection::key()
+    const {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  out.reserve(choice_.size());
+  for (const auto& [iface, cluster] : choice_)
+    out.emplace_back(iface.value(), cluster.value());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 ClusterSelection ClusterSelection::first_of_each(const HierarchicalGraph& g) {
   ClusterSelection s;
   for (NodeId iface : g.all_interfaces()) {

@@ -11,7 +11,9 @@
 // (non-hierarchical) graph over leaf vertices.
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/hierarchical_graph.hpp"
@@ -40,6 +42,12 @@ class ClusterSelection {
   /// Selects the first refinement of every interface — a canonical default.
   [[nodiscard]] static ClusterSelection first_of_each(
       const HierarchicalGraph& g);
+
+  /// Canonical form: all (interface, cluster) choices as index pairs sorted
+  /// by interface.  Two selections with equal keys flatten identically —
+  /// `CompiledSpec`'s flatten cache keys on this.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>> key()
+      const;
 
  private:
   std::unordered_map<NodeId, ClusterId> choice_;

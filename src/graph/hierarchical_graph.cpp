@@ -1,11 +1,21 @@
 #include "graph/hierarchical_graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace sdf {
 
+void HierarchicalGraph::bump_version() {
+  // Process-wide-unique stamps (not a per-graph counter) so that replacing
+  // a graph wholesale -- e.g. move-assigning a freshly built one over
+  // `SpecificationGraph::problem()` -- can never resurface a stale stamp.
+  static std::atomic<std::uint64_t> counter{0};
+  version_ = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 HierarchicalGraph::HierarchicalGraph(std::string name)
     : name_(std::move(name)) {
+  bump_version();
   Cluster root;
   root.id = ClusterId{clusters_.size()};
   root.name = name_ + ".root";
@@ -24,6 +34,7 @@ Cluster& HierarchicalGraph::mutable_cluster(ClusterId id) {
 }
 
 NodeId HierarchicalGraph::add_vertex(ClusterId cluster, std::string name) {
+  bump_version();
   Cluster& c = mutable_cluster(cluster);
   Node n;
   n.id = NodeId{nodes_.size()};
@@ -42,6 +53,7 @@ NodeId HierarchicalGraph::add_interface(ClusterId cluster, std::string name) {
 }
 
 ClusterId HierarchicalGraph::add_cluster(NodeId iface, std::string name) {
+  bump_version();
   // Intentionally permissive: attaching clusters to a plain vertex is a
   // *data* error flagged by validate()/lint as SDF001, not a programming
   // error worth aborting on.
@@ -61,6 +73,7 @@ EdgeId HierarchicalGraph::add_edge(NodeId from, NodeId to) {
 
 EdgeId HierarchicalGraph::add_edge(NodeId from, NodeId to, PortId src_port,
                                    PortId dst_port) {
+  bump_version();
   Node& nf = mutable_node(from);
   Node& nt = mutable_node(to);
   if (src_port.valid()) {
@@ -87,6 +100,7 @@ EdgeId HierarchicalGraph::add_edge(NodeId from, NodeId to, PortId src_port,
 
 PortId HierarchicalGraph::add_port(NodeId iface, std::string name,
                                    PortDirection direction) {
+  bump_version();
   // Ports on plain vertices are flagged by validate()/lint as SDF002.
   Node& n = mutable_node(iface);
   Port p;
@@ -101,6 +115,7 @@ PortId HierarchicalGraph::add_port(NodeId iface, std::string name,
 
 void HierarchicalGraph::map_port(PortId port, ClusterId cluster,
                                  NodeId target) {
+  bump_version();
   SDF_CHECK(port.valid() && port.index() < ports_.size(), "bad PortId");
   SDF_CHECK(target.valid() && target.index() < nodes_.size(), "bad NodeId");
   Port& p = ports_[port.index()];
@@ -113,16 +128,19 @@ void HierarchicalGraph::map_port(PortId port, ClusterId cluster,
 
 void HierarchicalGraph::set_attr(NodeId node, std::string_view key,
                                  double value) {
+  bump_version();
   mutable_node(node).attrs[std::string(key)] = value;
 }
 
 void HierarchicalGraph::set_attr(ClusterId cluster, std::string_view key,
                                  double value) {
+  bump_version();
   mutable_cluster(cluster).attrs[std::string(key)] = value;
 }
 
 void HierarchicalGraph::set_attr(EdgeId edge, std::string_view key,
                                  double value) {
+  bump_version();
   SDF_CHECK(edge.valid() && edge.index() < edges_.size(), "bad EdgeId");
   edges_[edge.index()].attrs[std::string(key)] = value;
 }

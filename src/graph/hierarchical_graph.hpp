@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -110,6 +111,12 @@ class HierarchicalGraph {
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] ClusterId root() const { return root_; }
+
+  /// Mutation stamp: every structural or attribute mutation assigns a fresh
+  /// process-wide-unique value.  Derived caches (`SpecificationGraph`'s
+  /// compiled index) snapshot it to detect staleness; two graphs only share
+  /// a stamp when one is an unmodified copy of the other.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
 
   // ---- construction -------------------------------------------------------
 
@@ -208,8 +215,10 @@ class HierarchicalGraph {
  private:
   Node& mutable_node(NodeId id);
   Cluster& mutable_cluster(ClusterId id);
+  void bump_version();
 
   std::string name_;
+  std::uint64_t version_ = 0;
   ClusterId root_;
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;

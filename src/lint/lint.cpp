@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "lint/rules.hpp"
+#include "spec/compiled.hpp"
 #include "util/strings.hpp"
 
 namespace sdf {
@@ -148,11 +149,20 @@ LintReport lint(const SpecificationGraph& spec, const LintOptions& options) {
     }
   }
 
-  // Semantic pass.
-  for (const RuleDef& def : rule_defs()) {
-    if (def.check == nullptr || !rule_selected(def, options)) continue;
-    LintContext ctx{spec, def, report.diagnostics};
-    def.check(ctx);
+  // Semantic pass.  The compiled index is built once here and shared by all
+  // checks (it tolerates defective specs: mappings onto non-units are kept
+  // with an invalid unit id).
+  const bool any_semantic = std::any_of(
+      rule_defs().begin(), rule_defs().end(), [&](const RuleDef& d) {
+        return d.check != nullptr && rule_selected(d, options);
+      });
+  if (any_semantic) {
+    const CompiledSpec& cs = spec.compiled();
+    for (const RuleDef& def : rule_defs()) {
+      if (def.check == nullptr || !rule_selected(def, options)) continue;
+      LintContext ctx{spec, cs, def, report.diagnostics};
+      def.check(ctx);
+    }
   }
 
   std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),

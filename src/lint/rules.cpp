@@ -5,6 +5,7 @@
 
 #include "flex/activatability.hpp"
 #include "sched/utilization.hpp"
+#include "spec/compiled.hpp"
 #include "util/strings.hpp"
 
 namespace sdf::lint_internal {
@@ -23,11 +24,8 @@ std::string mapping_loc(const SpecificationGraph& spec, const MappingEdge& m) {
 
 void check_unmappable_process(LintContext& ctx) {
   const HierarchicalGraph& p = ctx.spec.problem();
-  DynBitset mapped(p.node_count());
-  for (const MappingEdge& m : ctx.spec.mappings())
-    mapped.set(m.process.index());
   for (const Node& n : p.nodes()) {
-    if (n.is_interface() || mapped.test(n.id.index())) continue;
+    if (n.is_interface() || !ctx.compiled.mappings_of(n.id).empty()) continue;
     ctx.report(problem_loc(ctx.spec, n.id),
                "process '" + n.name +
                    "' has no mapping edge to any architecture resource; no "
@@ -157,9 +155,9 @@ void check_single_alternative(LintContext& ctx) {
 // ---- SDF015: cluster dead under even the full allocation ---------------------
 
 void check_dead_cluster(LintContext& ctx) {
-  AllocSet all = ctx.spec.make_alloc_set();
-  for (std::size_t i = 0; i < ctx.spec.alloc_units().size(); ++i) all.set(i);
-  const Activatability act(ctx.spec, all);
+  AllocSet all = ctx.compiled.make_alloc_set();
+  for (std::size_t i = 0; i < ctx.compiled.unit_count(); ++i) all.set(i);
+  const Activatability act(ctx.compiled, all);
   const HierarchicalGraph& p = ctx.spec.problem();
   for (const Cluster& c : p.clusters()) {
     if (act.activatable(c.id)) continue;
@@ -189,10 +187,11 @@ void check_utilization_impossible(LintContext& ctx) {
     const double period = p.attr_or(n.id, attr::kPeriod, 0.0);
     const double weight = p.attr_or(n.id, attr::kTimingWeight, 1.0);
     if (period <= 0.0 || weight <= 0.0) continue;
-    const std::vector<MappingEdge> maps = ctx.spec.mappings_of(n.id);
+    const std::span<const CompiledMapping> maps =
+        ctx.compiled.mappings_of(n.id);
     if (maps.empty()) continue;  // SDF009's business
     double best = weight * maps.front().latency / period;
-    for (const MappingEdge& m : maps)
+    for (const CompiledMapping& m : maps)
       best = std::min(best, weight * m.latency / period);
     if (best <= kUtilizationBound69 + 1e-9) continue;
     ctx.report(problem_loc(ctx.spec, n.id),

@@ -15,10 +15,12 @@ namespace sdf::lint_internal {
 
 struct RuleDef;
 
-/// Mutable state handed to a check function: the spec under analysis, the
-/// rule being run, and the diagnostic sink.
+/// Mutable state handed to a check function: the spec under analysis (raw
+/// and compiled — the engine builds the query index once for all semantic
+/// rules), the rule being run, and the diagnostic sink.
 struct LintContext {
   const SpecificationGraph& spec;
+  const CompiledSpec& compiled;
   const RuleDef& rule;
   std::vector<Diagnostic>& sink;
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "spec/compiled.hpp"
 #include "util/strings.hpp"
 
 namespace sdf {
@@ -16,16 +17,15 @@ bool UtilizationReport::feasible(double bound) const {
   return max_utilization <= bound + 1e-9;
 }
 
-UtilizationReport analyze_utilization(const SpecificationGraph& spec,
+UtilizationReport analyze_utilization(const CompiledSpec& cs,
                                       const Binding& binding) {
   UtilizationReport report;
-  report.per_unit.assign(spec.alloc_units().size(), 0.0);
-  report.tasks_per_unit.assign(spec.alloc_units().size(), 0);
+  report.per_unit.assign(cs.unit_count(), 0.0);
+  report.tasks_per_unit.assign(cs.unit_count(), 0);
 
-  const HierarchicalGraph& p = spec.problem();
   for (const BindingAssignment& a : binding.assignments()) {
-    const double period = p.attr_or(a.process, attr::kPeriod, 0.0);
-    const double weight = p.attr_or(a.process, attr::kTimingWeight, 1.0);
+    const double period = cs.period(a.process);
+    const double weight = cs.timing_weight(a.process);
     if (period <= 0.0 || weight <= 0.0) continue;
     report.per_unit[a.unit.index()] += weight * a.latency / period;
     ++report.tasks_per_unit[a.unit.index()];
@@ -39,9 +39,19 @@ UtilizationReport analyze_utilization(const SpecificationGraph& spec,
   return report;
 }
 
+UtilizationReport analyze_utilization(const SpecificationGraph& spec,
+                                      const Binding& binding) {
+  return analyze_utilization(spec.compiled(), binding);
+}
+
+bool utilization_feasible(const CompiledSpec& cs, const Binding& binding,
+                          double bound) {
+  return analyze_utilization(cs, binding).feasible(bound);
+}
+
 bool utilization_feasible(const SpecificationGraph& spec,
                           const Binding& binding, double bound) {
-  return analyze_utilization(spec, binding).feasible(bound);
+  return analyze_utilization(spec.compiled(), binding).feasible(bound);
 }
 
 std::string utilization_summary(const SpecificationGraph& spec,

@@ -42,12 +42,19 @@ struct UtilizationReport {
   [[nodiscard]] bool feasible(double bound = kUtilizationBound69) const;
 };
 
-/// Computes the utilization report of `binding`.
+/// Computes the utilization report of `binding`.  The compiled form reads
+/// period/weight from the index's dense attribute arrays; the
+/// `SpecificationGraph` form is a shim over `spec.compiled()`.
+[[nodiscard]] UtilizationReport analyze_utilization(
+    const CompiledSpec& cs, const Binding& binding);
 [[nodiscard]] UtilizationReport analyze_utilization(
     const SpecificationGraph& spec, const Binding& binding);
 
 /// Accept/reject decision as the paper's §5 applies it: true iff no unit
 /// exceeds `bound`.
+[[nodiscard]] bool utilization_feasible(const CompiledSpec& cs,
+                                        const Binding& binding,
+                                        double bound = kUtilizationBound69);
 [[nodiscard]] bool utilization_feasible(const SpecificationGraph& spec,
                                         const Binding& binding,
                                         double bound = kUtilizationBound69);

@@ -1,0 +1,215 @@
+#include "spec/compiled.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace sdf {
+
+CompiledSpec::CompiledSpec(const SpecificationGraph& spec) : spec_(spec) {
+  const HierarchicalGraph& problem = spec.problem();
+  const HierarchicalGraph& arch = spec.architecture();
+  const std::size_t np = problem.node_count();
+
+  // ---- units: copy the universe, resolve resources, price interfaces -------
+  units_ = spec.alloc_units();
+  const std::size_t nu = units_.size();
+  resource_to_unit_.resize(arch.node_count());
+  for (std::size_t i = 0; i < arch.node_count(); ++i)
+    resource_to_unit_[i] = spec.unit_of_resource(NodeId{i});
+
+  unit_capacity_.resize(nu, 0.0);
+  unit_iface_slot_.assign(nu, npos);
+  for (const AllocUnit& u : units_) {
+    unit_capacity_[u.id.index()] =
+        u.is_cluster_unit() ? arch.attr_or(u.cluster, attr::kCapacity, 0.0)
+                            : arch.attr_or(u.vertex, attr::kCapacity, 0.0);
+    if (!u.is_cluster_unit()) continue;
+    // One dense slot per configurable device (top interface), so the
+    // device's own cost is charged at most once per allocation.
+    std::size_t slot = npos;
+    for (std::size_t j = 0; j < u.id.index(); ++j)
+      if (units_[j].is_cluster_unit() && units_[j].top == u.top) {
+        slot = unit_iface_slot_[j];
+        break;
+      }
+    if (slot == npos) {
+      slot = iface_cost_.size();
+      iface_cost_.push_back(arch.attr_or(u.top, attr::kCost, 0.0));
+    }
+    unit_iface_slot_[u.id.index()] = slot;
+  }
+
+  // ---- mapping edges: CSR by process, insertion order preserved ------------
+  const std::vector<MappingEdge>& mappings = spec.mappings();
+  map_offsets_.assign(np + 1, 0);
+  for (const MappingEdge& m : mappings) ++map_offsets_[m.process.index() + 1];
+  for (std::size_t i = 0; i < np; ++i) map_offsets_[i + 1] += map_offsets_[i];
+  map_entries_.resize(mappings.size());
+  {
+    std::vector<std::size_t> cursor(map_offsets_.begin(),
+                                    map_offsets_.end() - 1);
+    for (const MappingEdge& m : mappings) {
+      const AllocUnitId unit = m.resource.index() < resource_to_unit_.size()
+                                   ? resource_to_unit_[m.resource.index()]
+                                   : AllocUnitId{};
+      map_entries_[cursor[m.process.index()]++] =
+          CompiledMapping{m.resource, unit, m.latency};
+    }
+  }
+
+  // ---- reachability: bitset + first-seen-order list per process ------------
+  reach_bits_.assign(np, DynBitset(nu));
+  reach_offsets_.assign(np + 1, 0);
+  for (std::size_t p = 0; p < np; ++p) {
+    for (const CompiledMapping& m : mappings_of(NodeId{p}))
+      if (m.unit.valid() && !reach_bits_[p].test(m.unit.index())) {
+        reach_bits_[p].set(m.unit.index());
+        ++reach_offsets_[p + 1];
+      }
+  }
+  for (std::size_t i = 0; i < np; ++i)
+    reach_offsets_[i + 1] += reach_offsets_[i];
+  reach_list_.resize(reach_offsets_[np]);
+  {
+    std::vector<std::size_t> cursor(reach_offsets_.begin(),
+                                    reach_offsets_.end() - 1);
+    DynBitset seen(nu);
+    for (std::size_t p = 0; p < np; ++p) {
+      seen.clear();
+      for (const CompiledMapping& m : mappings_of(NodeId{p}))
+        if (m.unit.valid() && !seen.test(m.unit.index())) {
+          seen.set(m.unit.index());
+          reach_list_[cursor[p]++] = m.unit;
+        }
+    }
+  }
+
+  // ---- candidate processes per unit (ascending, deduplicated) --------------
+  mappable_units_ = DynBitset(nu);
+  unit_proc_offsets_.assign(nu + 1, 0);
+  for (std::size_t p = 0; p < np; ++p)
+    reach_bits_[p].for_each([&](std::size_t u) {
+      mappable_units_.set(u);
+      ++unit_proc_offsets_[u + 1];
+    });
+  for (std::size_t i = 0; i < nu; ++i)
+    unit_proc_offsets_[i + 1] += unit_proc_offsets_[i];
+  unit_procs_.resize(unit_proc_offsets_[nu]);
+  {
+    std::vector<std::size_t> cursor(unit_proc_offsets_.begin(),
+                                    unit_proc_offsets_.end() - 1);
+    for (std::size_t p = 0; p < np; ++p)
+      reach_bits_[p].for_each(
+          [&](std::size_t u) { unit_procs_[cursor[u]++] = NodeId{p}; });
+  }
+
+  // ---- dense per-process attributes ----------------------------------------
+  period_.resize(np);
+  weight_.resize(np);
+  footprint_.resize(np);
+  demand_.resize(np, 0.0);
+  for (std::size_t p = 0; p < np; ++p) {
+    const NodeId id{p};
+    period_[p] = problem.attr_or(id, attr::kPeriod, 0.0);
+    weight_[p] = problem.attr_or(id, attr::kTimingWeight, 1.0);
+    footprint_[p] = problem.attr_or(id, attr::kFootprint, 0.0);
+    if (period_[p] > 0.0 && weight_[p] > 0.0)
+      demand_[p] = weight_[p] / period_[p];
+  }
+
+  // ---- communication: per-top adjacency folded into per-unit bitsets -------
+  // Architecture-edge adjacency of each node (either direction), as a
+  // bitset over architecture nodes.
+  std::vector<DynBitset> arch_adj(arch.node_count(),
+                                  DynBitset(arch.node_count()));
+  for (const Edge& e : arch.edges()) {
+    arch_adj[e.from.index()].set(e.to.index());
+    arch_adj[e.to.index()].set(e.from.index());
+  }
+
+  comm_neighbor_tops_.resize(nu);
+  tops_direct_.assign(nu, DynBitset(nu));
+  comm_adj_.assign(nu, DynBitset(nu));
+  for (const AllocUnit& a : units_) {
+    const std::size_t i = a.id.index();
+    for (const AllocUnit& b : units_) {
+      if (a.top == b.top || arch_adj[a.top.index()].test(b.top.index()))
+        tops_direct_[i].set(b.id.index());
+      if (b.is_comm && arch_adj[b.top.index()].test(a.top.index()))
+        comm_adj_[i].set(b.id.index());
+    }
+    if (a.is_comm)
+      arch_adj[a.top.index()].for_each([&](std::size_t n) {
+        comm_neighbor_tops_[i].push_back(NodeId{n});
+      });
+  }
+}
+
+double CompiledSpec::allocation_cost(const AllocSet& alloc) const {
+  // Summation order matches the SpecificationGraph shim bit-for-bit:
+  // ascending unit index, each unit's cost followed by its device's cost
+  // the first time a configuration of that device appears.
+  double cost = 0.0;
+  if (iface_cost_.size() <= 64) {
+    std::uint64_t charged = 0;
+    alloc.for_each([&](std::size_t i) {
+      cost += units_[i].cost;
+      const std::size_t slot = unit_iface_slot_[i];
+      if (slot == npos) return;
+      const std::uint64_t bit = std::uint64_t{1} << slot;
+      if ((charged & bit) == 0) {
+        charged |= bit;
+        cost += iface_cost_[slot];
+      }
+    });
+  } else {
+    DynBitset charged(iface_cost_.size());
+    alloc.for_each([&](std::size_t i) {
+      cost += units_[i].cost;
+      const std::size_t slot = unit_iface_slot_[i];
+      if (slot != npos && !charged.test(slot)) {
+        charged.set(slot);
+        cost += iface_cost_[slot];
+      }
+    });
+  }
+  return cost;
+}
+
+const CompiledFlat* CompiledSpec::flat(
+    const ClusterSelection& selection) const {
+  FlatKey key = selection.key();
+  const std::lock_guard<std::mutex> lock(flat_mutex_);
+  if (const auto it = flat_cache_.find(key); it != flat_cache_.end())
+    return it->second.get();
+
+  Result<FlatGraph> fg = flatten(spec_.problem(), selection);
+  std::unique_ptr<CompiledFlat> entry;  // null memoizes a failed flattening
+  if (fg.ok()) {
+    entry = std::make_unique<CompiledFlat>();
+    entry->graph = std::move(fg.value());
+    const std::vector<NodeId>& vertices = entry->graph.vertices;
+    entry->index_of.assign(spec_.problem().node_count(), CompiledFlat::npos);
+    for (std::size_t i = 0; i < vertices.size(); ++i)
+      entry->index_of[vertices[i].index()] = i;
+    entry->adj.resize(vertices.size());
+    for (const auto& [from, to] : entry->graph.edges) {
+      const std::size_t a = entry->index_of[from.index()];
+      const std::size_t b = entry->index_of[to.index()];
+      SDF_CHECK(a != CompiledFlat::npos && b != CompiledFlat::npos,
+                "flat edge endpoint is not an active leaf");
+      entry->adj[a].push_back(b);
+      entry->adj[b].push_back(a);
+    }
+    entry->demand.resize(vertices.size());
+    entry->footprint.resize(vertices.size());
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      entry->demand[i] = demand_[vertices[i].index()];
+      entry->footprint[i] = footprint_[vertices[i].index()];
+    }
+  }
+  return flat_cache_.emplace(std::move(key), std::move(entry))
+      .first->second.get();
+}
+
+}  // namespace sdf

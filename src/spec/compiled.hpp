@@ -1,0 +1,244 @@
+// Compiled query index over a specification graph.
+//
+// Every engine that walks the design space — EXPLORE's activatability
+// filter, the branch bound, the binding solver, the lint rules — asks the
+// same spec-level questions thousands of times: which units can a process
+// map to, can two units communicate under an allocation, what does this
+// cluster selection flatten to.  Answering them from the raw
+// `SpecificationGraph` re-scans the mapping-edge list and re-flattens the
+// hierarchy per call.
+//
+// `CompiledSpec` answers them from an immutable, arena-style index built in
+// one pass:
+//   * mapping edges grouped per process in CSR layout (`mappings_of` is a
+//     zero-allocation span, insertion order preserved),
+//   * per-process reachable-unit bitsets (activatability is one bitset
+//     intersection) plus the first-seen-order unit lists,
+//   * per-unit candidate-process lists (CSR),
+//   * dense per-process attribute arrays (period, timing weight, footprint,
+//     timing demand) replacing per-call `attr_or` map lookups,
+//   * per-unit top/comm adjacency bitsets making `comm_reachable` a
+//     three-way word-wise intersection with no allocation, and
+//   * a memoized flatten cache keyed by cluster selection, each entry
+//     carrying the solver-ready dense index/adjacency/attribute arrays.
+//
+// All queries except `flat()` touch only immutable state and are safe to
+// call concurrently; `flat()` is internally synchronized.  Obtain an
+// instance via `SpecificationGraph::compiled()` (lazily built, invalidated
+// by mutation) or build one directly for full control of its lifetime.
+// The index holds references into the owning `SpecificationGraph`; mutating
+// the spec invalidates a directly-constructed index.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "graph/flatten.hpp"
+#include "spec/specification.hpp"
+#include "util/dyn_bitset.hpp"
+
+namespace sdf {
+
+/// One mapping edge as the index stores it: the raw edge plus the resolved
+/// allocatable unit (invalid when the resource is not owned by any unit,
+/// e.g. a defective mapping onto an interface).
+struct CompiledMapping {
+  NodeId resource;
+  AllocUnitId unit;
+  double latency = 0.0;
+};
+
+/// One memoized flattening: the flat graph plus the dense arrays the
+/// binding solver needs, built once per distinct cluster selection.
+struct CompiledFlat {
+  FlatGraph graph;
+  /// Position of each problem node in `graph.vertices`; `npos` when the
+  /// node is not an active leaf of this flattening.
+  std::vector<std::size_t> index_of;
+  /// Undirected adjacency between vertex positions (both directions of
+  /// every flat dependence edge).
+  std::vector<std::vector<std::size_t>> adj;
+  /// Timing demand (timing_weight / period; 0 = unconstrained) and
+  /// footprint per vertex position.
+  std::vector<double> demand;
+  std::vector<double> footprint;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+class CompiledSpec {
+ public:
+  /// Builds the full index; `spec` must outlive the instance and stay
+  /// unmodified while it is in use.
+  explicit CompiledSpec(const SpecificationGraph& spec);
+
+  CompiledSpec(const CompiledSpec&) = delete;
+  CompiledSpec& operator=(const CompiledSpec&) = delete;
+
+  [[nodiscard]] const SpecificationGraph& spec() const { return spec_; }
+  [[nodiscard]] const HierarchicalGraph& problem() const {
+    return spec_.problem();
+  }
+  [[nodiscard]] const HierarchicalGraph& architecture() const {
+    return spec_.architecture();
+  }
+
+  // ---- units ----------------------------------------------------------------
+
+  [[nodiscard]] const std::vector<AllocUnit>& units() const { return units_; }
+  [[nodiscard]] std::size_t unit_count() const { return units_.size(); }
+  [[nodiscard]] const AllocUnit& unit(AllocUnitId id) const {
+    return units_[id.index()];
+  }
+  [[nodiscard]] AllocSet make_alloc_set() const {
+    return AllocSet(units_.size());
+  }
+  /// The unit owning architecture leaf `resource`; invalid when none does.
+  [[nodiscard]] AllocUnitId unit_of_resource(NodeId resource) const {
+    return resource_to_unit_[resource.index()];
+  }
+  /// kCapacity of the unit's vertex or configuration cluster; 0 = unlimited.
+  [[nodiscard]] double unit_capacity(AllocUnitId id) const {
+    return unit_capacity_[id.index()];
+  }
+  /// All unit capacities, indexed by unit.
+  [[nodiscard]] const std::vector<double>& unit_capacities() const {
+    return unit_capacity_;
+  }
+  /// Units at least one process has a mapping edge into.
+  [[nodiscard]] const DynBitset& mappable_units() const {
+    return mappable_units_;
+  }
+  /// Distinct top-level architecture nodes adjacent to the unit's top by
+  /// architecture edges; populated for communication units only (the §5
+  /// dominance filter inspects no other adjacency).
+  [[nodiscard]] const std::vector<NodeId>& comm_neighbor_tops(
+      AllocUnitId id) const {
+    return comm_neighbor_tops_[id.index()];
+  }
+
+  /// Allocation cost, bit-identical to the shim: unit costs in ascending
+  /// unit order plus, once per architecture interface with an allocated
+  /// configuration, the interface's own cost.
+  [[nodiscard]] double allocation_cost(const AllocSet& alloc) const;
+
+  // ---- mapping edges --------------------------------------------------------
+
+  [[nodiscard]] std::size_t process_count() const {
+    return spec_.problem().node_count();
+  }
+  /// Mapping edges of `process`, insertion order.  Zero-allocation.
+  [[nodiscard]] std::span<const CompiledMapping> mappings_of(
+      NodeId process) const {
+    const std::size_t i = process.index();
+    return {map_entries_.data() + map_offsets_[i],
+            map_offsets_[i + 1] - map_offsets_[i]};
+  }
+  /// Units `process` can map to, as a bitset over the unit universe.
+  [[nodiscard]] const DynBitset& reachable_units(NodeId process) const {
+    return reach_bits_[process.index()];
+  }
+  /// Same set as a first-seen-order list (the shim's historical order).
+  [[nodiscard]] std::span<const AllocUnitId> reachable_unit_list(
+      NodeId process) const {
+    const std::size_t i = process.index();
+    return {reach_list_.data() + reach_offsets_[i],
+            reach_offsets_[i + 1] - reach_offsets_[i]};
+  }
+  /// Processes with at least one mapping edge into `unit`, ascending id,
+  /// deduplicated.
+  [[nodiscard]] std::span<const NodeId> processes_on(AllocUnitId unit) const {
+    const std::size_t i = unit.index();
+    return {unit_procs_.data() + unit_proc_offsets_[i],
+            unit_proc_offsets_[i + 1] - unit_proc_offsets_[i]};
+  }
+
+  // ---- per-process attributes (dense) ---------------------------------------
+
+  [[nodiscard]] double period(NodeId process) const {
+    return period_[process.index()];
+  }
+  [[nodiscard]] double timing_weight(NodeId process) const {
+    return weight_[process.index()];
+  }
+  [[nodiscard]] double footprint(NodeId process) const {
+    return footprint_[process.index()];
+  }
+  /// timing_weight / period when both are positive, else 0 (the solver's
+  /// "unconstrained" marker).
+  [[nodiscard]] double demand(NodeId process) const {
+    return demand_[process.index()];
+  }
+
+  // ---- communication --------------------------------------------------------
+
+  /// True iff the tops of `a` and `b` coincide or share a direct
+  /// architecture edge (either direction).
+  [[nodiscard]] bool tops_direct(AllocUnitId a, AllocUnitId b) const {
+    return tops_direct_[a.index()].test(b.index());
+  }
+  /// One-hop-bus reachability under `alloc` (the default `CommModel`):
+  /// direct, or some allocated communication unit adjacent to both tops.
+  [[nodiscard]] bool comm_reachable(const AllocSet& alloc, AllocUnitId a,
+                                    AllocUnitId b) const {
+    if (tops_direct_[a.index()].test(b.index())) return true;
+    return DynBitset::intersects(alloc, comm_adj_[a.index()],
+                                 comm_adj_[b.index()]);
+  }
+
+  // ---- flatten cache --------------------------------------------------------
+
+  /// The memoized flattening of the problem graph under `selection`;
+  /// nullptr when the selection does not flatten (e.g. an unselected
+  /// reached interface).  The returned pointer stays valid for the life of
+  /// this index.  Thread-safe.
+  [[nodiscard]] const CompiledFlat* flat(
+      const ClusterSelection& selection) const;
+
+ private:
+  using FlatKey = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+  const SpecificationGraph& spec_;
+
+  // Units (copied so the index is self-contained).
+  std::vector<AllocUnit> units_;
+  std::vector<AllocUnitId> resource_to_unit_;  // by architecture NodeId
+  std::vector<double> unit_capacity_;          // by unit
+  DynBitset mappable_units_;
+  std::vector<std::vector<NodeId>> comm_neighbor_tops_;  // by unit
+
+  // Allocation-cost inputs: interface cost charged once per allocated
+  // configuration; `unit_iface_slot_` maps cluster units to a dense slot.
+  std::vector<std::size_t> unit_iface_slot_;  // by unit; npos for vertex units
+  std::vector<double> iface_cost_;            // by slot
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  // Mapping edges, CSR by process.
+  std::vector<std::size_t> map_offsets_;     // node_count + 1
+  std::vector<CompiledMapping> map_entries_;
+
+  // Reachable units per process.
+  std::vector<DynBitset> reach_bits_;        // by problem NodeId
+  std::vector<std::size_t> reach_offsets_;   // node_count + 1
+  std::vector<AllocUnitId> reach_list_;
+
+  // Candidate processes per unit, CSR.
+  std::vector<std::size_t> unit_proc_offsets_;  // unit_count + 1
+  std::vector<NodeId> unit_procs_;
+
+  // Dense per-process attributes.
+  std::vector<double> period_, weight_, footprint_, demand_;
+
+  // Per-unit communication bitsets over the unit universe.
+  std::vector<DynBitset> tops_direct_;  // same top or direct edge
+  std::vector<DynBitset> comm_adj_;     // comm units adjacent to my top
+
+  // Flatten cache; nullptr entries memoize failed flattenings.
+  mutable std::mutex flat_mutex_;
+  mutable std::map<FlatKey, std::unique_ptr<CompiledFlat>> flat_cache_;
+};
+
+}  // namespace sdf

@@ -3,9 +3,78 @@
 #include <algorithm>
 
 #include "graph/validate.hpp"
+#include "spec/compiled.hpp"
 #include "util/strings.hpp"
 
 namespace sdf {
+
+SpecificationGraph::SpecificationGraph()
+    : problem_("G_P"), architecture_("G_A") {}
+
+SpecificationGraph::SpecificationGraph(std::string name)
+    : name_(std::move(name)), problem_("G_P"), architecture_("G_A") {}
+
+SpecificationGraph::~SpecificationGraph() = default;
+
+SpecificationGraph::SpecificationGraph(const SpecificationGraph& other)
+    : name_(other.name_),
+      problem_(other.problem_),
+      architecture_(other.architecture_),
+      mappings_(other.mappings_) {}
+
+SpecificationGraph& SpecificationGraph::operator=(
+    const SpecificationGraph& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  problem_ = other.problem_;
+  architecture_ = other.architecture_;
+  mappings_ = other.mappings_;
+  units_dirty_ = true;
+  compiled_.reset();
+  return *this;
+}
+
+SpecificationGraph::SpecificationGraph(SpecificationGraph&& other) noexcept
+    : name_(std::move(other.name_)),
+      problem_(std::move(other.problem_)),
+      architecture_(std::move(other.architecture_)),
+      mappings_(std::move(other.mappings_)) {
+  // The moved-from spec's caches would reference the data now owned here.
+  other.units_dirty_ = true;
+  other.compiled_.reset();
+}
+
+SpecificationGraph& SpecificationGraph::operator=(
+    SpecificationGraph&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  problem_ = std::move(other.problem_);
+  architecture_ = std::move(other.architecture_);
+  mappings_ = std::move(other.mappings_);
+  units_dirty_ = true;
+  compiled_.reset();
+  other.units_dirty_ = true;
+  other.compiled_.reset();
+  return *this;
+}
+
+const CompiledSpec& SpecificationGraph::compiled() const {
+  const std::lock_guard<std::mutex> lock(compiled_mutex_);
+  if (compiled_ == nullptr ||
+      compiled_problem_version_ != problem_.version() ||
+      compiled_architecture_version_ != architecture_.version() ||
+      compiled_mapping_count_ != mappings_.size()) {
+    // An architecture edit may have changed unit costs/flags without going
+    // through a spec-level mutator; rebuild the unit universe too so the
+    // index never snapshots a stale cache.
+    invalidate_units();
+    compiled_ = std::make_unique<CompiledSpec>(*this);
+    compiled_problem_version_ = problem_.version();
+    compiled_architecture_version_ = architecture_.version();
+    compiled_mapping_count_ = mappings_.size();
+  }
+  return *compiled_;
+}
 
 void SpecificationGraph::add_mapping(NodeId process, NodeId resource,
                                      double latency) {
@@ -21,9 +90,11 @@ void SpecificationGraph::add_mapping(NodeId process, NodeId resource,
 
 std::vector<MappingEdge> SpecificationGraph::mappings_of(
     NodeId process) const {
+  const std::span<const CompiledMapping> span = compiled().mappings_of(process);
   std::vector<MappingEdge> out;
-  for (const MappingEdge& m : mappings_)
-    if (m.process == process) out.push_back(m);
+  out.reserve(span.size());
+  for (const CompiledMapping& m : span)
+    out.push_back(MappingEdge{process, m.resource, m.latency});
   return out;
 }
 
@@ -105,25 +176,14 @@ AllocUnitId SpecificationGraph::find_unit(std::string_view name) const {
 }
 
 AllocUnitId SpecificationGraph::unit_of_resource(NodeId resource) const {
-  alloc_units();
+  (void)alloc_units();  // ensure resource_to_unit_ is built
   SDF_CHECK(resource.valid() && resource.index() < resource_to_unit_.size(),
             "bad architecture node id");
   return resource_to_unit_[resource.index()];
 }
 
 double SpecificationGraph::allocation_cost(const AllocSet& alloc) const {
-  const auto& units = alloc_units();
-  double cost = 0.0;
-  DynBitset charged_ifaces(architecture_.node_count());
-  alloc.for_each([&](std::size_t i) {
-    const AllocUnit& u = units[i];
-    cost += u.cost;
-    if (u.is_cluster_unit() && !charged_ifaces.test(u.top.index())) {
-      charged_ifaces.set(u.top.index());
-      cost += architecture_.attr_or(u.top, attr::kCost, 0.0);
-    }
-  });
-  return cost;
+  return compiled().allocation_cost(alloc);
 }
 
 std::string SpecificationGraph::allocation_names(const AllocSet& alloc) const {
@@ -135,42 +195,14 @@ std::string SpecificationGraph::allocation_names(const AllocSet& alloc) const {
 
 bool SpecificationGraph::comm_reachable(const AllocSet& alloc, AllocUnitId a,
                                         AllocUnitId b) const {
-  const auto& units = alloc_units();
-  const NodeId top_a = units[a.index()].top;
-  const NodeId top_b = units[b.index()].top;
-  if (top_a == top_b) return true;
-
-  // Direct architecture edge between the two tops (either direction)?
-  auto direct = [&](NodeId x, NodeId y) {
-    for (EdgeId eid : architecture_.node(x).out_edges)
-      if (architecture_.edge(eid).to == y) return true;
-    for (EdgeId eid : architecture_.node(x).in_edges)
-      if (architecture_.edge(eid).from == y) return true;
-    return false;
-  };
-  if (direct(top_a, top_b)) return true;
-
-  // Allocated communication unit adjacent to both tops?
-  bool found = false;
-  alloc.for_each([&](std::size_t i) {
-    if (found) return;
-    const AllocUnit& c = units[i];
-    if (!c.is_comm) return;
-    if (direct(c.top, top_a) && direct(c.top, top_b)) found = true;
-  });
-  return found;
+  return compiled().comm_reachable(alloc, a, b);
 }
 
 std::vector<AllocUnitId> SpecificationGraph::reachable_units(
     NodeId process) const {
-  std::vector<AllocUnitId> out;
-  for (const MappingEdge& m : mappings_) {
-    if (m.process != process) continue;
-    const AllocUnitId u = unit_of_resource(m.resource);
-    if (u.valid() && std::find(out.begin(), out.end(), u) == out.end())
-      out.push_back(u);
-  }
-  return out;
+  const std::span<const AllocUnitId> span =
+      compiled().reachable_unit_list(process);
+  return {span.begin(), span.end()};
 }
 
 Status SpecificationGraph::validate() const {

@@ -15,6 +15,8 @@
 // over the unit universe.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,8 @@
 #include "util/dyn_bitset.hpp"
 
 namespace sdf {
+
+class CompiledSpec;
 
 /// A mapping edge e in E_M with its latency annotation.
 struct MappingEdge {
@@ -64,10 +68,17 @@ using AllocSet = DynBitset;
 
 class SpecificationGraph {
  public:
-  SpecificationGraph()
-      : problem_("G_P"), architecture_("G_A") {}
-  SpecificationGraph(std::string name)
-      : name_(std::move(name)), problem_("G_P"), architecture_("G_A") {}
+  SpecificationGraph();
+  SpecificationGraph(std::string name);
+  ~SpecificationGraph();
+
+  // Copies and moves transfer the specification data only; the lazily
+  // built caches (unit universe, compiled index) start cold in the
+  // destination.
+  SpecificationGraph(const SpecificationGraph& other);
+  SpecificationGraph& operator=(const SpecificationGraph& other);
+  SpecificationGraph(SpecificationGraph&& other) noexcept;
+  SpecificationGraph& operator=(SpecificationGraph&& other) noexcept;
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
@@ -86,8 +97,19 @@ class SpecificationGraph {
     return mappings_;
   }
 
-  /// All mapping edges leaving `process`.
+  /// All mapping edges leaving `process`.  Thin shim over the compiled
+  /// index; hot paths should hold a `CompiledSpec` and use its
+  /// zero-allocation `mappings_of` span instead.
   [[nodiscard]] std::vector<MappingEdge> mappings_of(NodeId process) const;
+
+  /// The compiled query index of this specification, built lazily and
+  /// rebuilt automatically after any mutation of the problem graph, the
+  /// architecture graph, or the mapping edges.  The reference stays valid
+  /// until the next mutation.  Engines that evaluate many candidates fetch
+  /// this once and pass it down; the `mappings_of`/`reachable_units`/
+  /// `comm_reachable`/`allocation_cost` members of this class are
+  /// per-call-convenience shims over the same index.
+  [[nodiscard]] const CompiledSpec& compiled() const;
 
   // ---- allocatable units ----------------------------------------------------
 
@@ -148,6 +170,15 @@ class SpecificationGraph {
   mutable std::vector<AllocUnitId> resource_to_unit_;  // by arch NodeId
   mutable std::size_t units_built_clusters_ = 0;
   mutable bool units_dirty_ = true;
+
+  // Lazily built compiled index (mutable cache).  Guarded by a mutex so
+  // concurrent readers (parallel explore workers) can share one instance;
+  // the version/count snapshot detects staleness after mutations.
+  mutable std::mutex compiled_mutex_;
+  mutable std::unique_ptr<CompiledSpec> compiled_;
+  mutable std::uint64_t compiled_problem_version_ = 0;
+  mutable std::uint64_t compiled_architecture_version_ = 0;
+  mutable std::size_t compiled_mapping_count_ = 0;
 };
 
 }  // namespace sdf

@@ -92,6 +92,15 @@ bool DynBitset::intersects(const DynBitset& other) const {
   return false;
 }
 
+bool DynBitset::intersects(const DynBitset& a, const DynBitset& b,
+                           const DynBitset& c) {
+  a.check_compatible(b);
+  a.check_compatible(c);
+  for (std::size_t i = 0; i < a.words_.size(); ++i)
+    if (a.words_[i] & b.words_[i] & c.words_[i]) return true;
+  return false;
+}
+
 std::size_t DynBitset::find_first(std::size_t from) const {
   if (from >= size_) return npos;
   std::size_t wi = from / kBits;

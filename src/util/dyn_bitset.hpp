@@ -53,6 +53,10 @@ class DynBitset {
   [[nodiscard]] bool is_subset_of(const DynBitset& other) const;
   /// True iff *this and `other` share at least one set bit.
   [[nodiscard]] bool intersects(const DynBitset& other) const;
+  /// True iff some bit is set in all three of `a`, `b` and `c`; the
+  /// word-wise equivalent of `(a & b & c).any()` without the temporaries.
+  [[nodiscard]] static bool intersects(const DynBitset& a, const DynBitset& b,
+                                       const DynBitset& c);
 
   /// Index of the first set bit at or after `from`, or `npos` if none.
   [[nodiscard]] std::size_t find_first(std::size_t from = 0) const;
