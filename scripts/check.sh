@@ -6,7 +6,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja
 cmake --build build
-ctest --test-dir build --output-on-failure
+ctest --test-dir build --output-on-failure --timeout 120
 
 for b in build/bench/bench_*; do
   echo "==================== ${b##*/} ===================="
@@ -20,6 +20,6 @@ echo "==================== ASan+UBSan test suite ===================="
 cmake -B build-addresssan -DSDF_SANITIZE=address
 cmake --build build-addresssan -j "$(nproc)"
 UBSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir build-addresssan --output-on-failure
+  ctest --test-dir build-addresssan --output-on-failure --timeout 240
 
 echo "ALL CHECKS PASSED"

@@ -3,13 +3,28 @@
 #
 #   1. scripts/check.sh        build, ctest, benches, ASan+UBSan suite
 #   2. scripts/check_tsan.sh   ThreadSanitizer over the concurrency tests
-#   3. scripts/check_tidy.sh   clang-tidy profile (skips if not installed)
-#   4. sdf lint                zero-diagnostic gate over examples/specs/
+#   3. fault injection         SDF_FAULT_INJECTION=ON + TSan, armed-site tests
+#   4. scripts/check_tidy.sh   clang-tidy profile (skips if not installed)
+#   5. sdf lint                zero-diagnostic gate over examples/specs/
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 scripts/check.sh
 scripts/check_tsan.sh
+
+echo "==================== fault injection (tsan) ===================="
+# Dedicated tree: the injection points are compiled in only here, so the
+# production build stays injection-free.  TSan proves the pool's unwind
+# paths (throwing worker, bad_alloc, delayed task) are race-free.
+FAULT_BUILD=build-faultsan
+FAULT_TESTS=(fault_injection_test parallel_explore_test anytime_test)
+cmake -B "$FAULT_BUILD" -DSDF_FAULT_INJECTION=ON -DSDF_SANITIZE=thread
+cmake --build "$FAULT_BUILD" --target "${FAULT_TESTS[@]}" -j "$(nproc)"
+for t in "${FAULT_TESTS[@]}"; do
+  echo "-------------------- $t (fault+tsan) --------------------"
+  "$FAULT_BUILD/tests/$t"
+done
+
 scripts/check_tidy.sh
 
 echo "==================== sdf lint examples/specs ===================="

@@ -54,6 +54,15 @@ std::optional<Implementation> build_implementation(
     std::optional<Binding> binding =
         solve_binding(cs, alloc, eca, options.solver, &ss);
     st.solver_nodes += ss.nodes;
+    if (ss.outcome == SolveOutcome::kBudgetExceeded ||
+        ss.outcome == SolveOutcome::kCancelled) {
+      // The budget is gone: remaining ECAs would abort the same way, and a
+      // partial ECA set would understate the implemented flexibility.  Bail
+      // out; the caller sees `budget_exceeded()` and treats the whole
+      // allocation as abandoned, never as infeasible.
+      ++st.budget_aborted_calls;
+      return std::nullopt;
+    }
     if (!binding.has_value()) continue;
     for (ClusterId c : eca.clusters)
       impl.implemented_clusters.set(c.index());

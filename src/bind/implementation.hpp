@@ -61,6 +61,14 @@ struct ImplementationStats {
   std::uint64_t ecas_enumerated = 0;
   std::uint64_t solver_calls = 0;
   std::uint64_t solver_nodes = 0;
+  /// Solver calls that were aborted by the run budget (vs. proven
+  /// infeasible).  When nonzero the construction is *incomplete*: the
+  /// returned implementation (or nullopt) says nothing definitive about
+  /// this allocation and must not enter a certified front.
+  std::uint64_t budget_aborted_calls = 0;
+  [[nodiscard]] bool budget_exceeded() const {
+    return budget_aborted_calls != 0;
+  }
 };
 
 /// Tries to construct a feasible implementation of `spec` on `alloc`:

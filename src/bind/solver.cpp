@@ -43,7 +43,20 @@ class BindingSearch {
     }
 
     assignment_.assign(n, kUnassigned);
-    if (!search(0)) return std::nullopt;
+    if (!search(0)) {
+      if (interrupted_) {
+        stats_.aborted = true;
+        stats_.outcome = options_.budget != nullptr &&
+                                 options_.budget->reason() ==
+                                     StopReason::kCancelled
+                             ? SolveOutcome::kCancelled
+                             : SolveOutcome::kBudgetExceeded;
+      } else if (stats_.aborted) {
+        stats_.outcome = SolveOutcome::kNodeLimit;
+      }
+      return std::nullopt;
+    }
+    stats_.outcome = SolveOutcome::kFeasible;
 
     Binding b;
     for (std::size_t i = 0; i < n; ++i) {
@@ -110,6 +123,7 @@ class BindingSearch {
   }
 
   bool search(std::size_t depth) {
+    if (interrupted_) return false;
     if (options_.node_limit != 0 && stats_.nodes >= options_.node_limit) {
       stats_.aborted = true;
       return false;
@@ -132,6 +146,14 @@ class BindingSearch {
 
     for (std::size_t ci : best_cands) {
       ++stats_.nodes;
+      // Solver-node granularity budget check: a tripped budget unwinds the
+      // whole search immediately (every recursion level re-tests
+      // `interrupted_` via this same charge returning false).
+      if (options_.budget != nullptr &&
+          !options_.budget->charge_solver_node()) {
+        interrupted_ = true;
+        return false;
+      }
       assignment_[best] = ci;
       const Candidate& c = domains_[best][ci];
       unit_load_[c.unit.index()] += flat_.demand[best] * c.latency;
@@ -140,6 +162,7 @@ class BindingSearch {
       unit_load_[c.unit.index()] -= flat_.demand[best] * c.latency;
       unit_used_[c.unit.index()] -= flat_.footprint[best];
       assignment_[best] = kUnassigned;
+      if (interrupted_) return false;  // unwind without trying siblings
       ++stats_.backtracks;
     }
     return false;
@@ -156,6 +179,7 @@ class BindingSearch {
   std::vector<std::size_t> assignment_;
   std::vector<double> unit_load_;
   std::vector<double> unit_used_;
+  bool interrupted_ = false;  ///< run budget tripped mid-search
 };
 
 }  // namespace

@@ -24,6 +24,7 @@
 
 #include "bind/binding.hpp"
 #include "bind/eca.hpp"
+#include "util/run_budget.hpp"
 
 namespace sdf {
 
@@ -38,17 +39,34 @@ struct SolverOptions {
   bool enforce_capacities = true;
   /// Abort after this many search nodes (0 = unlimited).
   std::uint64_t node_limit = 0;
+  /// Optional shared run budget: every decision node is charged to it and
+  /// the search aborts cooperatively once it is exhausted (outcome
+  /// `kBudgetExceeded` / `kCancelled`).  Not owned; may be null.
+  BudgetTracker* budget = nullptr;
+};
+
+/// Why the solver returned without a binding — a caller must be able to
+/// distinguish a *proof* of infeasibility from "gave up": a budget-aborted
+/// search says nothing about the instance and must never be reported (or
+/// counted) as infeasible.
+enum class SolveOutcome : std::uint8_t {
+  kFeasible = 0,
+  kInfeasible,       ///< search space exhausted: provably no binding
+  kNodeLimit,        ///< SolverOptions::node_limit hit
+  kBudgetExceeded,   ///< RunBudget deadline/node budget exhausted
+  kCancelled,        ///< CancelToken tripped
 };
 
 struct SolverStats {
   std::uint64_t nodes = 0;       ///< decision nodes visited
   std::uint64_t backtracks = 0;  ///< failed branches undone
-  bool aborted = false;          ///< node limit hit
+  bool aborted = false;          ///< node limit or budget hit
+  SolveOutcome outcome = SolveOutcome::kInfeasible;
 };
 
 /// Searches for a feasible binding of the processes activated by `eca` onto
 /// `alloc`.  Returns the first feasible binding found, or nullopt if none
-/// exists (or the node limit was hit — see `stats.aborted`).
+/// exists (or the node limit / run budget was hit — see `stats.outcome`).
 ///
 /// The compiled form reads candidate domains, adjacency and per-process
 /// attributes straight from the index (including its memoized flattening of

@@ -1,6 +1,7 @@
 #include "cli/cli.hpp"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "explore/evolutionary.hpp"
@@ -59,7 +60,9 @@ int usage(std::ostream& err) {
          "  lint <spec.json> [flags]      full rule-based diagnostics; --list,\n"
          "                                --json, --rules=<ids>, --min-severity=<s>\n"
          "  flexibility <spec.json>       Def. 4 flexibility analysis\n"
-         "  explore <spec.json> [flags]   flexibility/cost Pareto front\n"
+         "  explore <spec.json> [flags]   flexibility/cost Pareto front;\n"
+         "                                anytime: --deadline-ms, --max-solver-nodes,\n"
+         "                                --checkpoint=<f> --resume (exit 3 = partial)\n"
          "  upgrade <spec.json> --existing=<units>   incremental upgrades\n"
          "  sensitivity <spec.json> --alloc=<units>  per-unit flexibility loss\n"
          "  reduce <spec.json> --alloc=<units>       reduced spec to stdout\n"
@@ -223,6 +226,16 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
   flags.define("threads", "1",
                "evaluation threads (0 = one per hardware thread); any value "
                "other than 1 selects the parallel cost-band engine");
+  flags.define("deadline-ms", "0",
+               "wall-clock budget in milliseconds (0 = unlimited)");
+  flags.define("max-solver-nodes", "0",
+               "solver search-node budget (0 = unlimited)");
+  flags.define("max-allocations", "0",
+               "candidate-allocation budget (0 = unlimited)");
+  flags.define("checkpoint", "",
+               "file for the resume checkpoint of a budget-interrupted run");
+  flags.define_bool("resume", false,
+                    "continue from the --checkpoint file's saved state");
   if (Status s = flags.parse(raw); !s.ok()) {
     err << s.error().message << "\nflags:\n" << flags.usage();
     return 2;
@@ -261,17 +274,74 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
     return 2;
   }
   options.num_threads = static_cast<std::size_t>(threads);
+
+  const long deadline_ms = flags.get_int("deadline-ms");
+  const long max_nodes = flags.get_int("max-solver-nodes");
+  const long max_allocs = flags.get_int("max-allocations");
+  if (deadline_ms < 0 || max_nodes < 0 || max_allocs < 0) {
+    err << "budget flags must be >= 0\n";
+    return 2;
+  }
+  options.budget.deadline_seconds = static_cast<double>(deadline_ms) / 1000.0;
+  options.budget.max_solver_nodes = static_cast<std::uint64_t>(max_nodes);
+  options.budget.max_allocations = static_cast<std::uint64_t>(max_allocs);
+  const std::string checkpoint_path = flags.get("checkpoint");
+  std::optional<ExploreCheckpoint> resume_state;  // outlives the run
+  if (flags.get_bool("resume")) {
+    if (checkpoint_path.empty()) {
+      err << "--resume requires --checkpoint=<file>\n";
+      return 2;
+    }
+    std::ifstream in(checkpoint_path);
+    if (!in) {
+      err << "cannot open checkpoint '" << checkpoint_path << "'\n";
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    Result<ExploreCheckpoint> ck = ExploreCheckpoint::from_string(buf.str());
+    if (!ck.ok()) {
+      err << ck.error().wrap(checkpoint_path).message << '\n';
+      return 1;
+    }
+    resume_state = std::move(ck).value();
+    options.resume = &*resume_state;
+  }
+
   // Both engines produce bit-identical fronts; 1 thread keeps the classic
   // single-loop engine (no band machinery at all).
   const auto run_explore = [&options](const SpecificationGraph& s) {
     return options.num_threads == 1 ? explore(s, options)
                                     : parallel_explore(s, options);
   };
+  // Saves the resume checkpoint (if requested) and picks the exit code:
+  // 0 = complete front, 3 = partial result because the budget ran out.
+  const auto finish = [&checkpoint_path, &err](const ExploreResult& result) {
+    if (!checkpoint_path.empty() && result.checkpoint.has_value()) {
+      std::ofstream ck(checkpoint_path);
+      if (!ck) {
+        err << "cannot write checkpoint '" << checkpoint_path << "'\n";
+        return 1;
+      }
+      ck << result.checkpoint->to_string() << '\n';
+    }
+    if (!result.status.ok()) {
+      err << result.status.error().message << '\n';
+      return 1;
+    }
+    if (result.stats.stop_reason == StopReason::kCompleted) return 0;
+    err << "partial result: " << stop_reason_name(result.stats.stop_reason)
+        << " budget exhausted; front exact below cost "
+        << format_double(result.stats.exact_up_to_cost);
+    if (!checkpoint_path.empty()) err << "; continue with --resume";
+    err << '\n';
+    return 3;
+  };
 
   if (flags.get_bool("json") && !flags.get_bool("evolutionary")) {
     const ExploreResult result = run_explore(spec.value());
     out << explore_result_to_json(spec.value(), result).dump(2) << '\n';
-    return 0;
+    return finish(result);
   }
 
   if (!flags.get("budget").empty() || !flags.get("target-f").empty()) {
@@ -302,24 +372,33 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
             << ")\n";
       }
     }
-    return 0;
+    return finish(result);
   }
 
   std::vector<Implementation> front;
   ExploreStats stats;
   double f_max = 0.0;
+  int exit_code = 0;
   if (flags.get_bool("evolutionary")) {
     EaOptions ea;
     ea.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
     ea.implementation = options.implementation;
+    ea.budget = options.budget;
     const EaResult result = explore_evolutionary(spec.value(), ea);
     front = result.front;
     f_max = max_flexibility(spec.value().problem());
+    if (result.stats.stop_reason != StopReason::kCompleted) {
+      err << "partial result: " << stop_reason_name(result.stats.stop_reason)
+          << " budget exhausted\n";
+      exit_code = 3;
+    }
   } else {
     ExploreResult result = run_explore(spec.value());
-    front = std::move(result.front);
+    front = result.front;
     stats = result.stats;
     f_max = result.max_flexibility;
+    exit_code = finish(result);
+    if (exit_code == 1) return exit_code;  // failed run: nothing to print
   }
 
   Table table({"cost", "flexibility", "resources", "clusters"});
@@ -339,9 +418,15 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
         << " candidates=" << stats.candidates_generated
         << " possible_allocations=" << stats.possible_allocations
         << " attempts=" << stats.implementation_attempts
-        << " solver_calls=" << stats.solver_calls << '\n';
+        << " solver_calls=" << stats.solver_calls;
+    if (stats.stop_reason != StopReason::kCompleted) {
+      out << " stop_reason=" << stop_reason_name(stats.stop_reason)
+          << " budget_abandoned=" << stats.budget_abandoned
+          << " exact_up_to_cost=" << format_double(stats.exact_up_to_cost);
+    }
+    out << '\n';
   }
-  return 0;
+  return exit_code;
 }
 
 int cmd_upgrade(const std::vector<std::string>& raw, std::ostream& out,

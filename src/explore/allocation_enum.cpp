@@ -19,7 +19,7 @@ CostOrderedAllocations::CostOrderedAllocations(const CompiledSpec& cs,
   // infinite price and skip them during expansion (see next()).
   for (const AllocUnit& u : units)
     unit_cost_.push_back(base_.test(u.id.index()) ? -1.0 : u.cost);
-  queue_.push(State{0.0, {}, static_cast<std::uint32_t>(-1)});
+  heap_.push_back(State{0.0, {}, static_cast<std::uint32_t>(-1)});
 }
 
 CostOrderedAllocations::CostOrderedAllocations(const SpecificationGraph& spec)
@@ -37,11 +37,10 @@ AllocSet CostOrderedAllocations::to_set(
 }
 
 std::optional<AllocSet> CostOrderedAllocations::next() {
-  if (queue_.empty()) return std::nullopt;
-  // Move the members vector out instead of copying it; the moved-from slot
-  // is immediately destroyed by pop().
-  State state = std::move(const_cast<State&>(queue_.top()));
-  queue_.pop();
+  if (heap_.empty()) return std::nullopt;
+  std::pop_heap(heap_.begin(), heap_.end(), StateGreater{});
+  State state = std::move(heap_.back());
+  heap_.pop_back();
 
   // Expand: children add one unit with an index above the last added one.
   // Each subset is generated exactly once (by ascending-index insertion) and
@@ -68,12 +67,39 @@ std::optional<AllocSet> CostOrderedAllocations::next() {
       child.members = state.members;
       child.members.push_back(j);
       child.max_index = j;
-      queue_.push(std::move(child));
+      heap_.push_back(std::move(child));
+      std::push_heap(heap_.begin(), heap_.end(), StateGreater{});
     }
   }
 
   ++emitted_;
   return to_set(state.members);
+}
+
+std::optional<double> CostOrderedAllocations::peek_cost() const {
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front().cost;
+}
+
+EnumCursor CostOrderedAllocations::cursor() const {
+  EnumCursor c;
+  c.frontier = heap_;
+  // Canonical (pop) order, not heap-layout order: makes the serialized
+  // cursor independent of the insertion history that produced it.
+  std::sort(c.frontier.begin(), c.frontier.end(),
+            [](const State& a, const State& b) {
+              return StateGreater{}(b, a);  // ascending (cost, lex)
+            });
+  c.emitted = emitted_;
+  c.pruned = pruned_;
+  return c;
+}
+
+void CostOrderedAllocations::restore(const EnumCursor& cursor) {
+  heap_ = cursor.frontier;
+  std::make_heap(heap_.begin(), heap_.end(), StateGreater{});
+  emitted_ = cursor.emitted;
+  pruned_ = cursor.pruned;
 }
 
 DominanceContext::DominanceContext(const CompiledSpec& cs)

@@ -18,7 +18,6 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "spec/specification.hpp"
@@ -26,6 +25,23 @@
 namespace sdf {
 
 class CompiledSpec;
+
+/// Serializable snapshot of a `CostOrderedAllocations` stream: the frontier
+/// states still awaiting expansion plus the emit/prune counters.  Restoring
+/// a cursor resumes the enumeration bit-identically — the (cost, lex)
+/// comparator is a total order over subsets, so the pop sequence does not
+/// depend on the heap's internal layout.  Snapshots are kept sorted so the
+/// serialized form is canonical (diffable, hashable).
+struct EnumCursor {
+  struct State {
+    double cost = 0.0;
+    std::vector<std::uint32_t> members;  ///< ascending unit indices
+    std::uint32_t max_index = 0;         ///< last added unit (or ~0 sentinel)
+  };
+  std::vector<State> frontier;
+  std::uint64_t emitted = 0;
+  std::uint64_t pruned = 0;
+};
 
 class CostOrderedAllocations {
  public:
@@ -54,12 +70,22 @@ class CostOrderedAllocations {
   /// Subtrees pruned by the branch bound so far.
   [[nodiscard]] std::uint64_t pruned() const { return pruned_; }
 
+  /// Frontier states awaiting expansion.  Every not-yet-emitted subset is a
+  /// descendant of exactly one frontier state, so `frontier_size() == 0`
+  /// means the stream is exhausted.
+  [[nodiscard]] std::size_t frontier_size() const { return heap_.size(); }
+  /// Cost of the next subset `next()` would emit; nullopt when exhausted.
+  [[nodiscard]] std::optional<double> peek_cost() const;
+
+  /// Checkpoint support: snapshots / restores the enumeration state.  A
+  /// stream restored from `cursor()` continues exactly where the source
+  /// stream stood (same emit order, same counters).  The branch bound is
+  /// NOT part of the cursor; re-set it after restoring.
+  [[nodiscard]] EnumCursor cursor() const;
+  void restore(const EnumCursor& cursor);
+
  private:
-  struct State {
-    double cost;
-    std::vector<std::uint32_t> members;  // ascending unit indices
-    std::uint32_t max_index;             // last added unit (or sentinel)
-  };
+  using State = EnumCursor::State;
   struct StateGreater {
     bool operator()(const State& a, const State& b) const {
       if (a.cost != b.cost) return a.cost > b.cost;
@@ -71,7 +97,7 @@ class CostOrderedAllocations {
 
   AllocSet base_;
   std::vector<double> unit_cost_;
-  std::priority_queue<State, std::vector<State>, StateGreater> queue_;
+  std::vector<State> heap_;  ///< min-heap via std::*_heap with StateGreater
   BranchBound keep_;
   std::uint64_t emitted_ = 0;
   std::uint64_t pruned_ = 0;

@@ -50,13 +50,28 @@ EaResult explore_evolutionary(const SpecificationGraph& spec,
   ParetoArchive archive;
   std::unordered_set<std::size_t> seen;  // genome hashes already evaluated
 
+  BudgetTracker tracker(options.budget);
+  ImplementationOptions eval_impl = options.implementation;
+  eval_impl.solver.budget = &tracker;
+  bool stopped = false;  // budget tripped: wind down, keep the archive
+
   auto evaluate = [&](const AllocSet& genome) {
     Evaluated e;
     e.genome = genome;
     e.cost = cs.allocation_cost(genome);
+    if (stopped || !tracker.charge_allocation()) {
+      stopped = true;
+      return e;  // scored infeasible; never reaches the archive
+    }
     ++result.stats.evaluations;
+    ImplementationStats istats;
     std::optional<Implementation> impl =
-        build_implementation(cs, genome, options.implementation);
+        build_implementation(cs, genome, eval_impl, &istats);
+    if (istats.budget_exceeded()) {
+      ++result.stats.budget_abandoned;
+      stopped = true;
+      return e;
+    }
     if (impl.has_value()) {
       ++result.stats.feasible_evaluations;
       e.feasible = true;
@@ -88,10 +103,10 @@ EaResult explore_evolutionary(const SpecificationGraph& spec,
     return better(a, b) ? a : b;
   };
 
-  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+  for (std::size_t gen = 0; gen < options.generations && !stopped; ++gen) {
     std::vector<Evaluated> offspring;
     offspring.reserve(options.population);
-    while (offspring.size() < options.population) {
+    while (offspring.size() < options.population && !stopped) {
       const Evaluated& p1 = tournament();
       const Evaluated& p2 = tournament();
       AllocSet child = cs.make_alloc_set();
@@ -138,6 +153,8 @@ EaResult explore_evolutionary(const SpecificationGraph& spec,
       survivors.push_back(std::move(population[order[i]]));
     population = std::move(survivors);
   }
+
+  if (stopped) result.stats.stop_reason = tracker.reason();
 
   // Export the archive, ascending cost.
   for (const ParetoPoint& p : archive.front())

@@ -14,6 +14,7 @@
 
 #include "bind/implementation.hpp"
 #include "spec/specification.hpp"
+#include "util/run_budget.hpp"
 
 namespace sdf {
 
@@ -25,12 +26,20 @@ struct EaOptions {
   double mutation_rate = -1.0;
   std::uint64_t seed = 1;
   ImplementationOptions implementation;
+  /// Anytime limits (`max_allocations` bounds genome evaluations); the
+  /// archive accumulated so far is returned on interruption.
+  RunBudget budget;
 };
 
 struct EaStats {
   std::uint64_t evaluations = 0;       ///< implementation constructions
   std::uint64_t feasible_evaluations = 0;
   double wall_seconds = 0.0;
+  /// Why the run ended; the EA is a heuristic, so an interrupted archive
+  /// is exactly as (un)certified as a completed one.
+  StopReason stop_reason = StopReason::kCompleted;
+  /// Genome evaluations abandoned mid-solve by the budget.
+  std::uint64_t budget_abandoned = 0;
 };
 
 struct EaResult {

@@ -10,7 +10,8 @@ namespace sdf {
 
 ExhaustiveResult explore_exhaustive(const SpecificationGraph& spec,
                                     const ImplementationOptions& options,
-                                    std::size_t max_universe) {
+                                    std::size_t max_universe,
+                                    const RunBudget& budget) {
   const CompiledSpec& cs = spec.compiled();
   const std::size_t n = cs.unit_count();
   SDF_CHECK(n <= max_universe, "universe too large for exhaustive search");
@@ -18,8 +19,16 @@ ExhaustiveResult explore_exhaustive(const SpecificationGraph& spec,
   const auto t0 = std::chrono::steady_clock::now();
   ExhaustiveResult result;
 
+  BudgetTracker tracker(budget);
+  ImplementationOptions eval = options;
+  eval.solver.budget = &tracker;
+
   std::vector<Implementation> feasible;
   for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {
+    if (!tracker.charge_allocation()) {
+      result.stats.stop_reason = tracker.reason();
+      break;
+    }
     ++result.stats.subsets;
     AllocSet a = cs.make_alloc_set();
     for (std::size_t i = 0; i < n; ++i)
@@ -28,8 +37,15 @@ ExhaustiveResult explore_exhaustive(const SpecificationGraph& spec,
     ++result.stats.implementation_attempts;
     ImplementationStats istats;
     std::optional<Implementation> impl =
-        build_implementation(cs, a, options, &istats);
+        build_implementation(cs, a, eval, &istats);
     result.stats.solver_calls += istats.solver_calls;
+    if (istats.budget_exceeded()) {
+      // Unknown outcome, not infeasible: the subset never joins `feasible`
+      // and the sweep winds down.
+      ++result.stats.budget_abandoned;
+      result.stats.stop_reason = tracker.reason();
+      break;
+    }
     if (impl.has_value()) feasible.push_back(std::move(*impl));
   }
 

@@ -12,6 +12,7 @@
 
 #include "bind/implementation.hpp"
 #include "spec/specification.hpp"
+#include "util/run_budget.hpp"
 
 namespace sdf {
 
@@ -20,6 +21,12 @@ struct ExhaustiveStats {
   std::uint64_t implementation_attempts = 0;
   std::uint64_t solver_calls = 0;
   double wall_seconds = 0.0;
+  /// Why the sweep ended.  Unlike EXPLORE, the mask order is not
+  /// cost-ordered, so an interrupted sweep's front carries no completeness
+  /// certificate — it is merely the Pareto filter of what was evaluated.
+  StopReason stop_reason = StopReason::kCompleted;
+  /// Subsets abandoned mid-evaluation by the budget (not infeasible).
+  std::uint64_t budget_abandoned = 0;
 };
 
 struct ExhaustiveResult {
@@ -29,9 +36,10 @@ struct ExhaustiveResult {
 };
 
 /// Brute force over all 2^n allocations; refuses universes beyond
-/// `max_universe` units (runtime doubles per unit).
+/// `max_universe` units (runtime doubles per unit).  `budget` interrupts
+/// the sweep cooperatively (the default never does).
 [[nodiscard]] ExhaustiveResult explore_exhaustive(
     const SpecificationGraph& spec, const ImplementationOptions& options = {},
-    std::size_t max_universe = 20);
+    std::size_t max_universe = 20, const RunBudget& budget = {});
 
 }  // namespace sdf

@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <cmath>
+#include <deque>
+#include <utility>
 
 #include "explore/allocation_enum.hpp"
 #include "flex/activatability.hpp"
@@ -11,6 +13,67 @@
 #include "util/strings.hpp"
 
 namespace sdf {
+namespace {
+
+/// The deterministic work counters evaluation can mutate; snapshotting and
+/// restoring these rolls back an abandoned candidate's charges so a resumed
+/// chain's totals match an uninterrupted run.
+struct StatsSnapshot {
+  std::uint64_t candidates_generated;
+  std::uint64_t dominated_skipped;
+  std::uint64_t possible_allocations;
+  std::uint64_t flexibility_estimations;
+  std::uint64_t bound_skipped;
+  std::uint64_t implementation_attempts;
+  std::uint64_t solver_calls;
+  std::uint64_t solver_nodes;
+
+  static StatsSnapshot take(const ExploreStats& s) {
+    return StatsSnapshot{s.candidates_generated, s.dominated_skipped,
+                         s.possible_allocations, s.flexibility_estimations,
+                         s.bound_skipped,        s.implementation_attempts,
+                         s.solver_calls,         s.solver_nodes};
+  }
+  void restore(ExploreStats& s) const {
+    s.candidates_generated = candidates_generated;
+    s.dominated_skipped = dominated_skipped;
+    s.possible_allocations = possible_allocations;
+    s.flexibility_estimations = flexibility_estimations;
+    s.bound_skipped = bound_skipped;
+    s.implementation_attempts = implementation_attempts;
+    s.solver_calls = solver_calls;
+    s.solver_nodes = solver_nodes;
+  }
+};
+
+}  // namespace
+
+ExploreCheckpoint::Counters checkpoint_counters(const ExploreStats& stats) {
+  ExploreCheckpoint::Counters c;
+  c.candidates_generated = stats.candidates_generated;
+  c.dominated_skipped = stats.dominated_skipped;
+  c.possible_allocations = stats.possible_allocations;
+  c.flexibility_estimations = stats.flexibility_estimations;
+  c.bound_skipped = stats.bound_skipped;
+  c.implementation_attempts = stats.implementation_attempts;
+  c.solver_calls = stats.solver_calls;
+  c.solver_nodes = stats.solver_nodes;
+  c.budget_abandoned = stats.budget_abandoned;
+  return c;
+}
+
+void apply_checkpoint_counters(const ExploreCheckpoint::Counters& counters,
+                               ExploreStats& stats) {
+  stats.candidates_generated = counters.candidates_generated;
+  stats.dominated_skipped = counters.dominated_skipped;
+  stats.possible_allocations = counters.possible_allocations;
+  stats.flexibility_estimations = counters.flexibility_estimations;
+  stats.bound_skipped = counters.bound_skipped;
+  stats.implementation_attempts = counters.implementation_attempts;
+  stats.solver_calls = counters.solver_calls;
+  stats.solver_nodes = counters.solver_nodes;
+  stats.budget_abandoned = counters.budget_abandoned;
+}
 
 std::vector<ParetoPoint> ExploreResult::tradeoff_curve() const {
   std::vector<ParetoPoint> out;
@@ -37,12 +100,42 @@ ExploreResult explore(const SpecificationGraph& spec,
   result.stats.raw_design_points =
       std::pow(2.0, static_cast<double>(result.stats.universe));
 
+  BudgetTracker tracker(options.budget);
+  // Candidate evaluation charges every solver node to the run budget.
+  ImplementationOptions eval_impl = options.implementation;
+  eval_impl.solver.budget = &tracker;
+
   double f_cur = 0.0;
   // When collecting equivalents, the search ends after walking through the
   // cost tie of the maximal-flexibility point; -1 = not yet reached.
   double max_tie_cost = -1.0;
   const DominanceContext dominance(cs);
   CostOrderedAllocations stream(cs);
+  // Candidates a prior interrupted run drained but never evaluated; always
+  // consumed before the stream (they precede it in stream order).
+  std::deque<AllocSet> pending;
+
+  if (options.resume != nullptr) {
+    Result<ExploreResumeState> restored =
+        restore_explore_checkpoint(*options.resume, spec, options, stream);
+    if (!restored.ok()) {
+      result.status = restored.error();
+      return result;
+    }
+    ExploreResumeState& state = restored.value();
+    result.front = std::move(state.front);
+    for (AllocSet& alloc : state.pending)
+      pending.push_back(std::move(alloc));
+    if (!result.front.empty()) {
+      f_cur = result.front.back().flexibility;
+      if (options.stop_at_max_flexibility && options.collect_equivalents &&
+          f_cur >= result.max_flexibility - 1e-9)
+        max_tie_cost = result.front.back().cost;
+    }
+    apply_checkpoint_counters(state.counters, result.stats);
+    result.stats.resumed = true;
+  }
+
   if (options.use_branch_bound) {
     stream.set_branch_bound([&, collect = options.collect_equivalents](
                                 const AllocSet& potential) {
@@ -55,8 +148,27 @@ ExploreResult explore(const SpecificationGraph& spec,
     });
   }
 
-  while (std::optional<AllocSet> a = stream.next()) {
-    if (a->none()) continue;  // the empty base costs no candidate budget
+  // First stream-order candidate the budget forced us to abandon, either
+  // before evaluation (allocation charge failed) or mid-evaluation (solver
+  // aborted).  Its cost is the completeness certificate's bound.
+  std::optional<AllocSet> in_flight;
+
+  while (true) {
+    std::optional<AllocSet> a;
+    if (!pending.empty()) {
+      a = std::move(pending.front());
+      pending.pop_front();
+    } else {
+      a = stream.next();
+    }
+    if (!a.has_value()) break;  // stream ran dry: exploration complete
+    if (a->none()) continue;    // the empty base costs no candidate budget
+
+    if (!tracker.charge_allocation()) {
+      in_flight = std::move(a);
+      break;
+    }
+    const StatsSnapshot snapshot = StatsSnapshot::take(result.stats);
     ++result.stats.candidates_generated;
     if (options.max_candidates != 0 &&
         result.stats.candidates_generated > options.max_candidates)
@@ -87,9 +199,19 @@ ExploreResult explore(const SpecificationGraph& spec,
     ++result.stats.implementation_attempts;
     ImplementationStats istats;
     std::optional<Implementation> impl =
-        build_implementation(cs, *a, options.implementation, &istats);
+        build_implementation(cs, *a, eval_impl, &istats);
     result.stats.solver_calls += istats.solver_calls;
     result.stats.solver_nodes += istats.solver_nodes;
+
+    if (istats.budget_exceeded()) {
+      // Abandoned mid-evaluation: roll the candidate's charges back (the
+      // resumed run re-evaluates it from scratch, so keeping them would
+      // double-count) and record it as budget-abandoned, never infeasible.
+      snapshot.restore(result.stats);
+      ++result.stats.budget_abandoned;
+      in_flight = std::move(a);
+      break;
+    }
 
     if (!impl.has_value()) continue;
     if (impl->flexibility <= f_cur) {
@@ -125,9 +247,39 @@ ExploreResult explore(const SpecificationGraph& spec,
       max_tie_cost = result.front.back().cost;
     }
   }
-  result.stats.exhausted = !options.stop_at_max_flexibility ||
-                           f_cur < result.max_flexibility - 1e-9;
+  result.stats.exhausted =
+      !in_flight.has_value() && (!options.stop_at_max_flexibility ||
+                                 f_cur < result.max_flexibility - 1e-9);
   result.stats.branches_pruned = stream.pruned();
+  result.stats.frontier_remaining = stream.frontier_size();
+
+  if (in_flight.has_value()) {
+    result.stats.stop_reason = tracker.reason();
+    // Completeness certificate: `in_flight` is the cheapest candidate the
+    // run never finished (pending and stream entries all follow it in
+    // cost order), so the front is exact below its cost.
+    result.stats.exact_up_to_cost = cs.allocation_cost(*in_flight);
+
+    std::vector<AllocSet> unprocessed;
+    unprocessed.reserve(1 + pending.size());
+    unprocessed.push_back(std::move(*in_flight));
+    for (AllocSet& rest : pending) unprocessed.push_back(std::move(rest));
+    Result<ExploreCheckpoint> ck = build_explore_checkpoint(
+        spec, options, result.front, unprocessed, stream,
+        checkpoint_counters(result.stats));
+    if (!ck.ok()) {
+      result.status = ck.error();
+      return result;
+    }
+    result.checkpoint = std::move(ck).value();
+
+    log_debug(strprintf(
+        "EXPLORE: interrupted (%s) after %llu candidates; front exact below "
+        "cost %s",
+        stop_reason_name(result.stats.stop_reason),
+        static_cast<unsigned long long>(result.stats.candidates_generated),
+        format_double(result.stats.exact_up_to_cost).c_str()));
+  }
 
   const auto t1 = std::chrono::steady_clock::now();
   result.stats.wall_seconds =

@@ -17,14 +17,27 @@
 // subtrees of the subset stream whose *optimistic completion* (candidate
 // plus all still-addable units) cannot beat the incumbent — a strict
 // branch-and-bound strengthening that never changes the result.
+//
+// EXPLORE is an *anytime* algorithm: a `RunBudget` (deadline, solver-node
+// cap, allocation cap, cancel token) interrupts the run cooperatively, and
+// an interrupted run returns the partial front together with a
+// *completeness certificate*: because candidates are inspected in
+// increasing cost order, the partial front is provably exact for every
+// cost strictly below `ExploreStats::exact_up_to_cost` — no allocation
+// cheaper than that bound is unexamined.  Interrupted runs also carry an
+// `ExploreCheckpoint` from which a later run resumes bit-identically (see
+// explore/checkpoint.hpp).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "bind/implementation.hpp"
+#include "explore/checkpoint.hpp"
 #include "moo/pareto.hpp"
 #include "spec/specification.hpp"
+#include "util/run_budget.hpp"
 
 namespace sdf {
 
@@ -55,6 +68,12 @@ struct ExploreOptions {
   /// merges (0 = auto, scaled from `num_threads`).  Larger bands expose more
   /// parallelism but evaluate against a staler incumbent.
   std::size_t band_capacity = 0;
+  /// Anytime limits; the default budget never interrupts anything.
+  RunBudget budget;
+  /// Resume from a prior interrupted run's checkpoint.  Not owned; must
+  /// outlive the call.  The spec and every front-affecting option must
+  /// match the checkpointed run (validated via the stored digests).
+  const ExploreCheckpoint* resume = nullptr;
 };
 
 struct ExploreStats {
@@ -71,6 +90,23 @@ struct ExploreStats {
   std::uint64_t branches_pruned = 0;
   bool exhausted = false;              ///< stream ran dry (vs. early stop)
   double wall_seconds = 0.0;
+
+  // ---- anytime extras ------------------------------------------------------
+  /// Why the run ended; `kCompleted` covers every non-budget ending (ran
+  /// dry, max flexibility reached, `max_candidates` cap).
+  StopReason stop_reason = StopReason::kCompleted;
+  /// Allocations drained from the stream but abandoned unevaluated when
+  /// the budget tripped; their work charges are rolled back so a resumed
+  /// chain's counters match an uninterrupted run.
+  std::uint64_t budget_abandoned = 0;
+  /// Unexpanded stream states left behind at the stop point (every
+  /// unexamined subset descends from one of them); 0 after a full run.
+  std::uint64_t frontier_remaining = 0;
+  /// Completeness certificate (valid iff `stop_reason != kCompleted`):
+  /// the returned front is exact for every cost strictly below this — the
+  /// stream is cost-ordered, so nothing cheaper was left unexamined.
+  double exact_up_to_cost = 0.0;
+  bool resumed = false;                ///< run started from a checkpoint
   /// Time spent building (or revalidating) the spec's compiled query index
   /// before the candidate loop; included in `wall_seconds`.
   double index_build_seconds = 0.0;
@@ -93,10 +129,20 @@ struct ExploreStats {
 
 struct ExploreResult {
   /// Pareto-optimal implementations, ascending cost / ascending flexibility.
+  /// After an interrupted run this is the *partial* front — exact up to
+  /// `stats.exact_up_to_cost`, see the file comment.
   std::vector<Implementation> front;
   /// Maximal flexibility of the specification (Def. 4, all clusters).
   double max_flexibility = 0.0;
   ExploreStats stats;
+  /// Non-ok when the run failed: a bad resume checkpoint leaves the result
+  /// empty; a failed worker task (parallel engine) stops the run with
+  /// `stop_reason == kWorkerError` — the merged partial front and the
+  /// checkpoint stay valid, so such a run can still be resumed.
+  Status status;
+  /// Present iff the run was interrupted by its budget; feed back via
+  /// `ExploreOptions::resume` to continue bit-identically.
+  std::optional<ExploreCheckpoint> checkpoint;
 
   /// The front as (cost, 1/flexibility) points — the paper's Fig. 4 axes.
   [[nodiscard]] std::vector<ParetoPoint> tradeoff_curve() const;
@@ -105,5 +151,12 @@ struct ExploreResult {
 /// Runs EXPLORE on `spec`.
 [[nodiscard]] ExploreResult explore(const SpecificationGraph& spec,
                                     const ExploreOptions& options = {});
+
+/// Deterministic work counters, stats form ↔ checkpoint form (shared by the
+/// sequential and parallel engines).
+[[nodiscard]] ExploreCheckpoint::Counters checkpoint_counters(
+    const ExploreStats& stats);
+void apply_checkpoint_counters(const ExploreCheckpoint::Counters& counters,
+                               ExploreStats& stats);
 
 }  // namespace sdf

@@ -30,6 +30,10 @@ UpgradeResult explore_upgrades(const SpecificationGraph& spec,
     result.baseline_flexibility = base->flexibility;
   }
 
+  BudgetTracker tracker(options.budget);
+  ImplementationOptions eval_impl = options.implementation;
+  eval_impl.solver.budget = &tracker;
+
   double f_cur = result.baseline_flexibility;
   const DominanceContext dominance(cs);
   CostOrderedAllocations stream(cs, existing);
@@ -43,6 +47,14 @@ UpgradeResult explore_upgrades(const SpecificationGraph& spec,
 
   while (std::optional<AllocSet> a = stream.next()) {
     if (*a == existing) continue;  // the baseline itself costs no budget
+    if (!tracker.charge_allocation()) {
+      // Anytime stop: the front so far is exact for upgrades cheaper than
+      // this candidate (the stream is ordered by incremental cost).
+      result.stats.stop_reason = tracker.reason();
+      result.stats.exact_up_to_cost =
+          cs.allocation_cost(*a) - cs.allocation_cost(existing);
+      break;
+    }
     ++result.stats.candidates_generated;
     if (options.max_candidates != 0 &&
         result.stats.candidates_generated > options.max_candidates)
@@ -73,9 +85,17 @@ UpgradeResult explore_upgrades(const SpecificationGraph& spec,
     ++result.stats.implementation_attempts;
     ImplementationStats istats;
     std::optional<Implementation> impl =
-        build_implementation(cs, *a, options.implementation, &istats);
+        build_implementation(cs, *a, eval_impl, &istats);
     result.stats.solver_calls += istats.solver_calls;
     result.stats.solver_nodes += istats.solver_nodes;
+    if (istats.budget_exceeded()) {
+      // Abandoned mid-evaluation: this candidate is unknown, not infeasible.
+      ++result.stats.budget_abandoned;
+      result.stats.stop_reason = tracker.reason();
+      result.stats.exact_up_to_cost =
+          cs.allocation_cost(*a) - cs.allocation_cost(existing);
+      break;
+    }
     if (!impl.has_value() || impl->flexibility <= f_cur) continue;
 
     // Includes any device interface newly brought in by an added
@@ -94,6 +114,7 @@ UpgradeResult explore_upgrades(const SpecificationGraph& spec,
       break;
   }
   result.stats.branches_pruned = stream.pruned();
+  result.stats.frontier_remaining = stream.frontier_size();
 
   const auto t1 = std::chrono::steady_clock::now();
   result.stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <deque>
 #include <optional>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "flex/activatability.hpp"
 #include "flex/flexibility.hpp"
 #include "spec/compiled.hpp"
+#include "util/fault_injection.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -50,6 +52,10 @@ struct BandCandidate {
   double cost = 0.0;
   std::size_t level = 0;  ///< contiguous equal-cost group within the band
   std::optional<Implementation> impl;
+  /// The run budget tripped before/while this candidate was evaluated; its
+  /// outcome is unknown and it must be re-evaluated (never merged, never
+  /// reported infeasible).
+  bool budget_aborted = false;
 
   std::uint64_t dominated_skipped = 0;
   std::uint64_t possible_allocations = 0;
@@ -68,9 +74,17 @@ struct BandCandidate {
 /// flexibilities between concurrent workers, per cost level.
 void evaluate_candidate(const CompiledSpec& cs,
                         const ExploreOptions& options,
+                        const ImplementationOptions& impl_opts,
                         const DominanceContext& dominance, double committed_f,
                         std::vector<AtomicMax>& level_best,
-                        BandCandidate& cand) {
+                        BudgetTracker& tracker, BandCandidate& cand) {
+  SDF_FAULT_POINT("parallel_explore.evaluate");
+  if (tracker.exhausted()) {
+    // Wind the band down fast: unevaluated slots go back to the pending
+    // queue and are re-drawn after resume.
+    cand.budget_aborted = true;
+    return;
+  }
   const auto t0 = Clock::now();
   if (options.prune_dominated_allocations &&
       obviously_dominated(cs, dominance, cand.alloc)) {
@@ -115,10 +129,14 @@ void evaluate_candidate(const CompiledSpec& cs,
   ++cand.implementation_attempts;
   ImplementationStats istats;
   std::optional<Implementation> impl =
-      build_implementation(cs, cand.alloc, options.implementation, &istats);
+      build_implementation(cs, cand.alloc, impl_opts, &istats);
   cand.solver_calls = istats.solver_calls;
   cand.solver_nodes = istats.solver_nodes;
   cand.implement_seconds = seconds_since(t1);
+  if (istats.budget_exceeded()) {
+    cand.budget_aborted = true;
+    return;
+  }
   if (!impl.has_value()) return;
   level_best[cand.level].update(impl->flexibility);
   cand.impl = std::move(*impl);
@@ -149,11 +167,42 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
       std::pow(2.0, static_cast<double>(result.stats.universe));
   result.stats.threads = threads;
 
+  BudgetTracker tracker(options.budget);
+  // Workers charge every solver node to the shared tracker; the merge
+  // thread charges allocations during band assembly.
+  ImplementationOptions eval_impl = options.implementation;
+  eval_impl.solver.budget = &tracker;
+
   double f_cur = 0.0;          // committed incumbent: merged candidates only
   double max_tie_cost = -1.0;  // collect_equivalents end-of-search tie cost
 
   const DominanceContext dominance(cs);
   CostOrderedAllocations stream(cs);
+  // Candidates a prior interrupted run drained but never evaluated; always
+  // consumed before the stream (they precede it in stream order).
+  std::deque<AllocSet> pending;
+
+  if (options.resume != nullptr) {
+    Result<ExploreResumeState> restored =
+        restore_explore_checkpoint(*options.resume, spec, options, stream);
+    if (!restored.ok()) {
+      result.status = restored.error();
+      return result;
+    }
+    ExploreResumeState& state = restored.value();
+    result.front = std::move(state.front);
+    for (AllocSet& alloc : state.pending)
+      pending.push_back(std::move(alloc));
+    if (!result.front.empty()) {
+      f_cur = result.front.back().flexibility;
+      if (options.stop_at_max_flexibility && options.collect_equivalents &&
+          f_cur >= result.max_flexibility - 1e-9)
+        max_tie_cost = result.front.back().cost;
+    }
+    apply_checkpoint_counters(state.counters, result.stats);
+    result.stats.resumed = true;
+  }
+
   if (options.use_branch_bound) {
     // Runs on the merge thread during band assembly, against the committed
     // incumbent — a (possibly stale) lower bound on the sequential f_cur at
@@ -174,20 +223,46 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
 
   std::vector<BandCandidate> band;
   band.reserve(capacity);
-  bool done = false;       // merge decided the search is over
-  bool last_band = false;  // stream dry / candidate budget exhausted
-  while (!done && !last_band) {
+  // Stream-order candidates the budget forced us to abandon: the band
+  // suffix from the first aborted slot, plus the candidate whose
+  // allocation charge was refused.  First entry bounds the certificate.
+  std::vector<AllocSet> unprocessed;
+  bool done = false;        // merge decided the search is over
+  bool last_band = false;   // stream dry / candidate budget exhausted
+  bool interrupted = false; // run budget tripped or a worker failed
+  bool alloc_cap_hit = false; // cap detected pre-trip during assembly
+  while (!done && !last_band && !interrupted) {
     // ---- assemble: drain candidates in stream order into one band --------
     const auto ta = Clock::now();
     band.clear();
     std::size_t levels = 0;
     while (band.size() < capacity) {
-      std::optional<AllocSet> a = stream.next();
+      std::optional<AllocSet> a;
+      if (!pending.empty()) {
+        a = std::move(pending.front());
+        pending.pop_front();
+      } else {
+        a = stream.next();
+      }
       if (!a.has_value()) {
         last_band = true;
         break;
       }
       if (a->none()) continue;  // the empty base costs no candidate budget
+      if (!tracker.allocation_budget_left()) {
+        // Probe the cap without tripping the (sticky) tracker: the band
+        // assembled so far was already charged and must still evaluate.
+        // The kAllocations trip is recorded after the merge.
+        alloc_cap_hit = true;
+        unprocessed.push_back(std::move(*a));
+        interrupted = true;
+        break;
+      }
+      if (!tracker.charge_allocation()) {
+        unprocessed.push_back(std::move(*a));
+        interrupted = true;
+        break;
+      }
       ++result.stats.candidates_generated;
       if (options.max_candidates != 0 &&
           result.stats.candidates_generated > options.max_candidates) {
@@ -219,21 +294,51 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
     const auto te = Clock::now();
     std::vector<AtomicMax> level_best(levels);
     const double committed = f_cur;
+    Status eval_status;
     if (pool.has_value()) {
-      pool->parallel_for(band.size(), [&](std::size_t i) {
-        evaluate_candidate(cs, options, dominance, committed, level_best,
-                           band[i]);
+      eval_status = pool->parallel_for(band.size(), [&](std::size_t i) {
+        evaluate_candidate(cs, options, eval_impl, dominance, committed,
+                           level_best, tracker, band[i]);
       });
     } else {
-      for (BandCandidate& cand : band)
-        evaluate_candidate(cs, options, dominance, committed, level_best,
-                           cand);
+      try {
+        for (BandCandidate& cand : band)
+          evaluate_candidate(cs, options, eval_impl, dominance, committed,
+                             level_best, tracker, cand);
+      } catch (const std::exception& e) {
+        eval_status =
+            Error{std::string("worker task failed: ") + e.what()};
+      }
     }
     result.stats.evaluate_seconds += seconds_since(te);
 
+    // A failed worker makes every outcome of this band ambiguous (the pool
+    // still ran the remaining tasks, but nothing may be trusted): merge
+    // none of it, queue the whole band for re-evaluation, and surface the
+    // error.  The committed front is untouched, so the run stays resumable.
+    std::size_t cutoff = band.size();
+    if (!eval_status.ok()) {
+      tracker.note_worker_error();
+      result.status = eval_status;
+      cutoff = 0;
+    } else {
+      for (std::size_t i = 0; i < band.size(); ++i) {
+        if (band[i].budget_aborted) {
+          cutoff = i;
+          break;
+        }
+      }
+    }
+    if (cutoff < band.size()) interrupted = true;
+
     // ---- merge: stream order, exactly the sequential acceptance rules ----
+    // Only the band prefix up to the first abandoned candidate is merged;
+    // the suffix (abandoned or not) keeps the merge gap-free in stream
+    // order and is queued for re-evaluation, with its work charges rolled
+    // back (the counters of unmerged slots are simply never accumulated).
     const auto tm = Clock::now();
-    for (BandCandidate& cand : band) {
+    for (std::size_t i = 0; i < cutoff; ++i) {
+      const BandCandidate& cand = band[i];
       result.stats.dominated_skipped += cand.dominated_skipped;
       result.stats.possible_allocations += cand.possible_allocations;
       result.stats.flexibility_estimations += cand.flexibility_estimations;
@@ -244,8 +349,8 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
       result.stats.filter_cpu_seconds += cand.filter_seconds;
       result.stats.implement_cpu_seconds += cand.implement_seconds;
     }
-    for (BandCandidate& cand : band) {
-      if (done) break;
+    for (std::size_t i = 0; i < cutoff && !done; ++i) {
+      BandCandidate& cand = band[i];
       if (max_tie_cost >= 0.0 && cand.cost > max_tie_cost) {
         done = true;
         break;
@@ -282,10 +387,54 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
       }
     }
     result.stats.merge_seconds += seconds_since(tm);
+
+    if (cutoff < band.size() && !done) {
+      // Roll back the suffix's generation charges and queue it (in stream
+      // order, ahead of the charge-refused candidate if any).
+      result.stats.candidates_generated -= band.size() - cutoff;
+      std::vector<AllocSet> tail;
+      tail.reserve(band.size() - cutoff + unprocessed.size());
+      for (std::size_t i = cutoff; i < band.size(); ++i) {
+        if (band[i].budget_aborted) ++result.stats.budget_abandoned;
+        tail.push_back(std::move(band[i].alloc));
+      }
+      for (AllocSet& a : unprocessed) tail.push_back(std::move(a));
+      unprocessed = std::move(tail);
+    }
   }
-  result.stats.exhausted = !options.stop_at_max_flexibility ||
-                           f_cur < result.max_flexibility - 1e-9;
+
+  // `done` wins over a late interruption: once the merge proves the search
+  // over, leftover pending work is irrelevant.
+  interrupted = interrupted && !done;
+  result.stats.exhausted =
+      !interrupted && (!options.stop_at_max_flexibility ||
+                       f_cur < result.max_flexibility - 1e-9);
   result.stats.branches_pruned = stream.pruned();
+  result.stats.frontier_remaining = stream.frontier_size();
+
+  if (interrupted) {
+    // Leftover resume candidates follow the band/carry entries in stream
+    // order.
+    for (AllocSet& rest : pending) unprocessed.push_back(std::move(rest));
+    SDF_CHECK(!unprocessed.empty(), "interrupted run without pending work");
+    if (alloc_cap_hit) tracker.note_allocations_exhausted();
+    result.stats.stop_reason = tracker.reason();
+    result.stats.exact_up_to_cost = cs.allocation_cost(unprocessed.front());
+    Result<ExploreCheckpoint> ck =
+        build_explore_checkpoint(spec, options, result.front, unprocessed,
+                                 stream, checkpoint_counters(result.stats));
+    if (!ck.ok()) {
+      result.status = ck.error();
+      result.stats.wall_seconds = seconds_since(t0);
+      return result;
+    }
+    result.checkpoint = std::move(ck).value();
+    log_debug(strprintf(
+        "EXPLORE[par]: interrupted (%s); front exact below cost %s",
+        stop_reason_name(result.stats.stop_reason),
+        format_double(result.stats.exact_up_to_cost).c_str()));
+  }
+
   result.stats.wall_seconds = seconds_since(t0);
   return result;
 }

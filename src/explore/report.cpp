@@ -60,6 +60,20 @@ Json explore_result_to_json(const SpecificationGraph& spec,
   stats.emplace_back("wall_seconds", Json(result.stats.wall_seconds));
   stats.emplace_back("index_build_seconds",
                      Json(result.stats.index_build_seconds));
+  // Anytime accounting: always emitted so downstream tooling can rely on
+  // the keys; `exact_up_to_cost` only when the certificate is meaningful.
+  stats.emplace_back("stop_reason",
+                     Json(stop_reason_name(result.stats.stop_reason)));
+  stats.emplace_back(
+      "budget_abandoned",
+      Json(static_cast<double>(result.stats.budget_abandoned)));
+  stats.emplace_back(
+      "frontier_remaining",
+      Json(static_cast<double>(result.stats.frontier_remaining)));
+  stats.emplace_back("resumed", Json(result.stats.resumed));
+  if (result.stats.stop_reason != StopReason::kCompleted)
+    stats.emplace_back("exact_up_to_cost",
+                       Json(result.stats.exact_up_to_cost));
   if (result.stats.threads != 0) {
     // Parallel-engine extras: band shape and the per-phase time breakdown.
     stats.emplace_back("threads", Json(result.stats.threads));

@@ -1,0 +1,141 @@
+#include "util/fault_injection.hpp"
+
+#ifdef SDF_FAULT_INJECTION
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sdf {
+namespace {
+
+struct ArmedFault {
+  FaultKind kind;
+  std::uint64_t nth = 0;       // fire on exactly this hit (0 = probabilistic)
+  double probability = 0.0;    // probabilistic mode
+  std::uint64_t seed = 0;
+  unsigned delay_micros = 0;
+};
+
+struct SiteState {
+  std::atomic<std::uint64_t> hits{0};
+  std::vector<ArmedFault> armed;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState, std::less<>> sites;
+  // Fast path: when nothing is armed anywhere, hit() only bumps a counter.
+  std::atomic<bool> any_armed{false};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives all worker threads
+  return *r;
+}
+
+/// SplitMix64 of (seed ^ site-hash ^ hit): a uniform 64-bit stream that is
+/// identical for identical (seed, site, hit) — the replayability contract.
+std::uint64_t mix(std::uint64_t seed, const std::string& site,
+                  std::uint64_t hit) {
+  std::uint64_t x = seed ^ (std::hash<std::string>{}(site) + hit * 0x9E3779B97F4A7C15ULL);
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+[[noreturn]] void fire_throw(const std::string& site, std::uint64_t hit) {
+  throw FaultInjectedError("injected fault at site '" + site + "' (hit " +
+                           std::to_string(hit) + ")");
+}
+
+}  // namespace
+
+void FaultInjector::arm(const char* site, FaultKind kind, std::uint64_t nth,
+                        unsigned delay_micros) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ArmedFault f;
+  f.kind = kind;
+  f.nth = nth;
+  f.delay_micros = delay_micros;
+  r.sites[site].armed.push_back(f);
+  r.any_armed.store(true, std::memory_order_release);
+}
+
+void FaultInjector::arm_probabilistic(const char* site, FaultKind kind,
+                                      double p, std::uint64_t seed,
+                                      unsigned delay_micros) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ArmedFault f;
+  f.kind = kind;
+  f.probability = p;
+  f.seed = seed;
+  f.delay_micros = delay_micros;
+  r.sites[site].armed.push_back(f);
+  r.any_armed.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sites.clear();
+  r.any_armed.store(false, std::memory_order_release);
+}
+
+std::uint64_t FaultInjector::hits(const char* site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0
+                             : it->second.hits.load(std::memory_order_relaxed);
+}
+
+void FaultInjector::hit(const char* site) {
+  Registry& r = registry();
+  if (!r.any_armed.load(std::memory_order_acquire)) return;
+
+  // Decide under the lock (the armed list may be edited concurrently), but
+  // sleep and throw outside it.
+  FaultKind kind{};
+  unsigned delay = 0;
+  bool fire = false;
+  std::uint64_t hit_index = 0;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    SiteState& s = r.sites[site];
+    hit_index = s.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    for (const ArmedFault& f : s.armed) {
+      const bool matches =
+          f.nth != 0
+              ? hit_index == f.nth
+              : (static_cast<double>(mix(f.seed, site, hit_index) >> 11) *
+                 0x1.0p-53 < f.probability);
+      if (matches) {
+        fire = true;
+        kind = f.kind;
+        delay = f.delay_micros;
+        break;
+      }
+    }
+  }
+  if (!fire) return;
+  switch (kind) {
+    case FaultKind::kThrow: fire_throw(site, hit_index);
+    case FaultKind::kBadAlloc: throw std::bad_alloc();
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+      return;
+  }
+}
+
+}  // namespace sdf
+
+#endif  // SDF_FAULT_INJECTION

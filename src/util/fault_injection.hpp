@@ -1,0 +1,76 @@
+// Deterministic fault-injection harness for robustness testing.
+//
+// Compiled in only when the `SDF_FAULT_INJECTION` CMake option is ON (the
+// production build pays exactly nothing: every injection point expands to
+// `((void)0)`).  Test code arms *sites* — short string labels compiled into
+// the code under test via `SDF_FAULT_POINT("site")` — to throw an
+// exception, simulate an allocation failure (`std::bad_alloc`), or delay
+// the calling thread:
+//
+//   FaultInjector::arm("thread_pool.task", FaultKind::kThrow, /*nth=*/3);
+//   ... run the code under test: the 3rd task to start throws ...
+//   FaultInjector::disarm_all();
+//
+// Determinism: `nth` counts hits of that site process-wide (atomically), so
+// a single-armed site fires exactly once at a reproducible point in the
+// *program order of site hits*.  The probabilistic mode hashes
+// (seed, site, hit-index) — same seed, same hit sequence, same faults —
+// which makes randomized soak tests replayable from their seed alone.
+// All state is internally synchronized; arming from the test thread while
+// workers hit sites is safe (and TSan-clean).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace sdf {
+
+/// Thrown by an armed `kThrow` site.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+#ifdef SDF_FAULT_INJECTION
+
+enum class FaultKind : std::uint8_t {
+  kThrow,     ///< throw FaultInjectedError
+  kBadAlloc,  ///< throw std::bad_alloc (simulated allocation failure)
+  kDelay,     ///< sleep `delay_micros`, then continue normally
+};
+
+class FaultInjector {
+ public:
+  /// Arms `site` to fire `kind` on its `nth` hit from now (1-based).
+  /// `delay_micros` applies to `kDelay` only.  Multiple arms on one site
+  /// compose (each fires at its own hit index).
+  static void arm(const char* site, FaultKind kind, std::uint64_t nth,
+                  unsigned delay_micros = 0);
+
+  /// Arms `site` probabilistically: each hit fires `kind` with probability
+  /// `p`, decided by a hash of (seed, site, hit index) — deterministic for
+  /// a fixed seed.
+  static void arm_probabilistic(const char* site, FaultKind kind, double p,
+                                std::uint64_t seed,
+                                unsigned delay_micros = 0);
+
+  /// Disarms every site and resets all hit counters.
+  static void disarm_all();
+
+  /// Hits of `site` since the last `disarm_all()`.  Counted only while at
+  /// least one site is armed (the disarmed fast path skips accounting).
+  static std::uint64_t hits(const char* site);
+
+  /// Called by SDF_FAULT_POINT; may throw or sleep per the armed plan.
+  static void hit(const char* site);
+};
+
+#define SDF_FAULT_POINT(site) ::sdf::FaultInjector::hit(site)
+
+#else
+
+#define SDF_FAULT_POINT(site) ((void)0)
+
+#endif  // SDF_FAULT_INJECTION
+
+}  // namespace sdf

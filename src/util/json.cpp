@@ -142,6 +142,11 @@ namespace {
 
 class Parser {
  public:
+  /// Containers deeper than this are rejected: parsing recurses once per
+  /// nesting level, so an adversarial "[[[[..." document would otherwise
+  /// overflow the stack.  Far above any legitimate specification document.
+  static constexpr int kMaxDepth = 256;
+
   explicit Parser(std::string_view text) : text_(text) {}
 
   Result<Json> run() {
@@ -185,8 +190,13 @@ class Parser {
   Result<Json> parse_value() {
     if (pos_ >= text_.size()) return fail("unexpected end of input");
     const char c = text_[pos_];
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
+    if (c == '{' || c == '[') {
+      if (depth_ >= kMaxDepth) return fail("nesting too deep");
+      ++depth_;
+      Result<Json> v = c == '{' ? parse_object() : parse_array();
+      --depth_;
+      return v;
+    }
     if (c == '"') {
       Result<std::string> s = parse_string();
       if (!s.ok()) return s.error();
@@ -305,6 +315,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

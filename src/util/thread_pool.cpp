@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "util/fault_injection.hpp"
+#include "util/log.hpp"
+
 namespace sdf {
 namespace {
 
@@ -25,7 +28,9 @@ ThreadPool::ThreadPool(std::size_t workers) {
 }
 
 ThreadPool::~ThreadPool() {
-  wait_idle();
+  if (Status s = wait_idle(); !s.ok())
+    log_warn("thread pool destroyed with uncollected task error: " +
+             s.error().message);
   {
     std::lock_guard<std::mutex> lock(idle_mu_);
     stop_ = true;
@@ -56,7 +61,7 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 std::function<void()> ThreadPool::take_task(std::size_t self) {
-  auto pop = [this](WorkerQueue& q, bool lifo) -> std::function<void()> {
+  auto pop = [](WorkerQueue& q, bool lifo) -> std::function<void()> {
     std::lock_guard<std::mutex> lock(q.mu);
     if (q.tasks.empty()) return {};
     std::function<void()> task;
@@ -94,7 +99,15 @@ std::function<void()> ThreadPool::take_task(std::size_t self) {
 bool ThreadPool::run_one(std::size_t self) {
   std::function<void()> task = take_task(self);
   if (!task) return false;
-  task();
+  // The in_flight_ decrement below runs on EVERY path out of the task —
+  // a throwing task must never strand wait_idle() or deadlock the pool.
+  try {
+    SDF_FAULT_POINT("thread_pool.task");
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
   bool idle;
   {
     std::lock_guard<std::mutex> lock(idle_mu_);
@@ -117,31 +130,60 @@ void ThreadPool::worker_loop(std::size_t index) {
   }
 }
 
-void ThreadPool::wait_idle() {
+Status ThreadPool::collect_error() {
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    std::swap(err, first_error_);
+  }
+  if (!err) return Status::Ok();
+  try {
+    std::rethrow_exception(err);
+  } catch (const std::bad_alloc&) {
+    return Error{"worker task failed: allocation failure (bad_alloc)"};
+  } catch (const std::exception& e) {
+    return Error{std::string("worker task failed: ") + e.what()};
+  } catch (...) {
+    return Error{"worker task failed with a non-standard exception"};
+  }
+}
+
+Status ThreadPool::wait_idle() {
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(idle_mu_);
-      if (in_flight_ == 0) return;
+      if (in_flight_ == 0) break;
     }
     // Help: execute queued work instead of blocking the caller's core.
     if (run_one(tl_pool == this ? tl_index : kNoWorker)) continue;
     std::unique_lock<std::mutex> lock(idle_mu_);
     idle_cv_.wait(lock,
                   [this] { return in_flight_ == 0 || queued_ > 0; });
-    if (in_flight_ == 0) return;
+    if (in_flight_ == 0) break;
   }
+  return collect_error();
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
+Status ThreadPool::parallel_for(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return Status::Ok();
   if (n == 1 || queues_.empty()) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
+    // Inline fast path: match the pooled path's exception contract.
+    try {
+      for (std::size_t i = 0; i < n; ++i) {
+        SDF_FAULT_POINT("thread_pool.task");
+        fn(i);
+      }
+    } catch (const std::exception& e) {
+      return Error{std::string("worker task failed: ") + e.what()};
+    } catch (...) {
+      return Error{"worker task failed with a non-standard exception"};
+    }
+    return Status::Ok();
   }
   for (std::size_t i = 0; i < n; ++i)
     submit([&fn, i] { fn(i); });
-  wait_idle();
+  return wait_idle();
 }
 
 }  // namespace sdf

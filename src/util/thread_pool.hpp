@@ -8,19 +8,28 @@
 // busiest end of its siblings when it runs dry, so long-running iterations
 // do not strand queued work behind them.
 //
+// Exception safety: a throwing task never deadlocks or leaks the pool.  The
+// worker catches the exception, keeps draining, and the first captured
+// error is surfaced as a `Status` from `wait_idle()` / `parallel_for()` —
+// remaining tasks still run (expected-failure paths in the library use
+// Result<T>; an exception here is exceptional, e.g. an injected fault or
+// bad_alloc, and the caller decides how to wind down).
+//
 // The pool is deliberately minimal: no futures, no task graph, no
-// priorities.  Tasks must not throw (the library's expected-failure paths
-// use Result<T>, and violated invariants abort via SDF_CHECK).
+// priorities.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/status.hpp"
 
 namespace sdf {
 
@@ -28,7 +37,9 @@ class ThreadPool {
  public:
   /// Spawns `workers` threads; 0 means one per hardware thread.
   explicit ThreadPool(std::size_t workers = 0);
-  /// Drains remaining work, then joins all workers.
+  /// Drains remaining work, then joins all workers.  A pending task error
+  /// that was never collected is logged and dropped (destructors cannot
+  /// return a Status).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -40,12 +51,16 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.  The calling thread
-  /// helps execute queued work while it waits instead of idling.
-  void wait_idle();
+  /// helps execute queued work while it waits instead of idling.  Returns
+  /// the first error any task threw since the last collection (the error
+  /// slot is cleared), or Ok.
+  [[nodiscard]] Status wait_idle();
 
   /// Runs `fn(0) .. fn(n-1)` across the pool and blocks until all complete.
-  /// Iterations are independent; no ordering is guaranteed.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// Iterations are independent; no ordering is guaranteed.  A throwing
+  /// iteration does not stop the others; the first error is returned.
+  [[nodiscard]] Status parallel_for(std::size_t n,
+                                    const std::function<void(std::size_t)>& fn);
 
   /// `std::thread::hardware_concurrency()` with a sane floor of 1.
   [[nodiscard]] static std::size_t hardware_threads();
@@ -61,6 +76,8 @@ class ThreadPool {
   std::function<void()> take_task(std::size_t self);
   void worker_loop(std::size_t index);
   bool run_one(std::size_t self);  ///< executes one task if available
+  /// Swaps out the first captured task error and renders it as a Status.
+  [[nodiscard]] Status collect_error();
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
@@ -72,6 +89,7 @@ class ThreadPool {
   std::size_t queued_ = 0;            ///< sitting in a deque, not yet taken
   std::size_t next_queue_ = 0;        ///< round-robin for external submits
   bool stop_ = false;
+  std::exception_ptr first_error_;    ///< first uncaught task exception
 };
 
 }  // namespace sdf

@@ -343,6 +343,56 @@ TEST(Solver, NodeLimitAborts) {
                                      options, &stats);
   EXPECT_FALSE(binding.has_value());
   EXPECT_TRUE(stats.aborted);
+  EXPECT_EQ(stats.outcome, SolveOutcome::kNodeLimit);
+}
+
+TEST(Solver, OutcomeSeparatesProofFromGivingUp) {
+  // The three ways to return without a binding must stay distinguishable:
+  // a *proof* of infeasibility, a node-limit abort, and a budget abort.
+  const SpecificationGraph& spec = settop();
+  const Eca eca = eca_of(spec.problem(), {"gD", "gD1", "gU1"});
+
+  SolverStats feasible;
+  EXPECT_TRUE(solve_binding(spec, alloc_of(spec, {"uP2"}), eca, {}, &feasible)
+                  .has_value());
+  EXPECT_EQ(feasible.outcome, SolveOutcome::kFeasible);
+
+  // Proven infeasible (§5: the game's utilization is rejected on uP2).
+  SolverStats infeasible;
+  const Eca game = eca_of(spec.problem(), {"gG", "gG1"});
+  EXPECT_FALSE(solve_binding(spec, alloc_of(spec, {"uP2"}), game, {},
+                             &infeasible)
+                   .has_value());
+  EXPECT_EQ(infeasible.outcome, SolveOutcome::kInfeasible);
+  EXPECT_FALSE(infeasible.aborted);
+
+  // Budget-aborted: identical nullopt, different meaning.
+  RunBudget budget;
+  budget.max_solver_nodes = 1;
+  BudgetTracker tracker(budget);
+  SolverOptions budgeted;
+  budgeted.budget = &tracker;
+  SolverStats aborted;
+  EXPECT_FALSE(solve_binding(spec, alloc_of(spec, {"uP2"}), eca, budgeted,
+                             &aborted)
+                   .has_value());
+  EXPECT_EQ(aborted.outcome, SolveOutcome::kBudgetExceeded);
+  EXPECT_TRUE(aborted.aborted);
+
+  // A tripped CancelToken reports cancellation, not infeasibility.  The
+  // explore layer always probes `check()` before invoking the solver; that
+  // probe is what records the cancellation.
+  RunBudget cancellable;
+  cancellable.cancel.request_cancel();
+  BudgetTracker cancelled_tracker(cancellable);
+  ASSERT_FALSE(cancelled_tracker.check());
+  SolverOptions cancellable_opts;
+  cancellable_opts.budget = &cancelled_tracker;
+  SolverStats cancelled;
+  EXPECT_FALSE(solve_binding(spec, alloc_of(spec, {"uP2"}), eca,
+                             cancellable_opts, &cancelled)
+                   .has_value());
+  EXPECT_EQ(cancelled.outcome, SolveOutcome::kCancelled);
 }
 
 // ---- implementation builder ------------------------------------------------------

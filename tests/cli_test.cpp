@@ -268,6 +268,74 @@ TEST_F(CliTest, ExploreRejectsBadFlags) {
   EXPECT_EQ(run({"explore", settop_path(), "--comm=warp"}), 2);
   EXPECT_EQ(run({"explore", settop_path(), "--bogus=1"}), 2);
   EXPECT_EQ(run({"explore"}), 2);
+  EXPECT_EQ(run({"explore", settop_path(), "--max-allocations=-1"}), 2);
+  EXPECT_EQ(run({"explore", settop_path(), "--deadline-ms=-5"}), 2);
+  EXPECT_EQ(run({"explore", settop_path(), "--resume"}), 2);  // no --checkpoint
+}
+
+TEST_F(CliTest, ExploreBudgetExhaustionExitsThreeAndWritesCheckpoint) {
+  const std::string ck = "/tmp/sdf_cli_test_ck_basic.json";
+  std::remove(ck.c_str());
+  EXPECT_EQ(run({"explore", settop_path(), "--max-allocations=4",
+                 "--checkpoint=" + ck}),
+            3);
+  EXPECT_NE(err_.str().find("partial result: allocations budget exhausted"),
+            std::string::npos);
+  EXPECT_NE(err_.str().find("--resume"), std::string::npos);
+  EXPECT_NE(out_.str().find("stop_reason=allocations"), std::string::npos);
+  EXPECT_NE(out_.str().find("exact_up_to_cost="), std::string::npos);
+
+  std::ifstream in(ck);
+  ASSERT_TRUE(in.good()) << "checkpoint file not written";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  Result<Json> doc = Json::parse(buf.str());
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  EXPECT_EQ(doc.value().string_or("format", ""), "sdf-explore-checkpoint");
+}
+
+TEST_F(CliTest, ExploreResumeChainReproducesUninterruptedFront) {
+  const std::string ck = "/tmp/sdf_cli_test_ck_chain.json";
+  std::remove(ck.c_str());
+  ASSERT_EQ(run({"explore", settop_path(), "--no-stats"}), 0);
+  const std::string uninterrupted = out_.str();
+
+  int code = run({"explore", settop_path(), "--max-allocations=500",
+                  "--checkpoint=" + ck, "--no-stats"});
+  for (int i = 0; code == 3 && i < 50; ++i)
+    code = run({"explore", settop_path(), "--max-allocations=500",
+                "--checkpoint=" + ck, "--resume", "--no-stats"});
+  ASSERT_EQ(code, 0) << err_.str();
+  EXPECT_EQ(out_.str(), uninterrupted);
+}
+
+TEST_F(CliTest, ExploreAnytimeJsonCarriesCertificate) {
+  const std::string ck = "/tmp/sdf_cli_test_ck_json.json";
+  std::remove(ck.c_str());
+  EXPECT_EQ(run({"explore", settop_path(), "--json", "--max-allocations=4",
+                 "--checkpoint=" + ck}),
+            3);
+  Result<Json> doc = Json::parse(out_.str());
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const Json* stats = doc.value().find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->string_or("stop_reason", ""), "allocations");
+  ASSERT_NE(stats->find("exact_up_to_cost"), nullptr);
+}
+
+TEST_F(CliTest, ExploreResumeRejectsMissingOrCorruptCheckpoint) {
+  EXPECT_EQ(run({"explore", settop_path(),
+                 "--checkpoint=/tmp/sdf_cli_test_ck_missing.json",
+                 "--resume"}),
+            1);
+  const std::string ck = "/tmp/sdf_cli_test_ck_corrupt.json";
+  {
+    std::ofstream f(ck);
+    f << "{\"format\": \"wrong\"}";
+  }
+  EXPECT_EQ(run({"explore", settop_path(), "--checkpoint=" + ck, "--resume"}),
+            1);
+  EXPECT_FALSE(err_.str().empty());
 }
 
 TEST_F(CliTest, ExploreEvolutionary) {

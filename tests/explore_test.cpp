@@ -301,6 +301,33 @@ TEST(Explore, ExhaustedFlagSemantics) {
     EXPECT_EQ(walked.front[i].cost, early.front[i].cost);
 }
 
+TEST(Explore, BudgetAbandonedIsCountedNotReportedInfeasible) {
+  // An allocation whose evaluation the run budget aborts mid-solve has an
+  // *unknown* outcome: it must show up in `budget_abandoned`, and its
+  // attempt/solver charges must be rolled back — as if it had never been
+  // touched — rather than being silently filed as infeasible.
+  const SpecificationGraph& spec = settop();
+  ExploreOptions full;
+  full.stop_at_max_flexibility = false;
+  const ExploreResult reference = explore(spec, full);
+  ASSERT_GT(reference.stats.solver_nodes, 4u);
+
+  ExploreOptions budgeted = full;
+  budgeted.budget.max_solver_nodes = reference.stats.solver_nodes / 2;
+  const ExploreResult partial = explore(spec, budgeted);
+  ASSERT_TRUE(partial.status.ok());
+  EXPECT_EQ(partial.stats.stop_reason, StopReason::kSolverNodes);
+  EXPECT_EQ(partial.stats.budget_abandoned, 1u);
+  // Rolled back: no dangling attempt for the abandoned candidate, so
+  // attempts seen so far are a strict subset of the uninterrupted run's.
+  EXPECT_LT(partial.stats.implementation_attempts,
+            reference.stats.implementation_attempts);
+  // The abandoned allocation is carried in the checkpoint for resumption —
+  // the opposite of being discarded as infeasible.
+  ASSERT_TRUE(partial.checkpoint.has_value());
+  EXPECT_FALSE(partial.checkpoint->pending.empty());
+}
+
 TEST(UncertainVsCrisp, StatsComparable) {
   // The uncertain explorer at zero uncertainty does the same amount of
   // PRA work as the crisp one (its stopping rule is interval-based but

@@ -55,8 +55,9 @@ TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
   ThreadPool pool(4);
   EXPECT_EQ(pool.worker_count(), 4u);
   std::vector<std::atomic<int>> hits(257);
-  pool.parallel_for(hits.size(),
-                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  ASSERT_TRUE(pool.parallel_for(hits.size(),
+                                [&](std::size_t i) { hits[i].fetch_add(1); })
+                  .ok());
   for (std::size_t i = 0; i < hits.size(); ++i)
     EXPECT_EQ(hits[i].load(), 1) << "index " << i;
 }
@@ -71,10 +72,11 @@ TEST(ThreadPool, SubmitFromWithinTasksAndWaitIdle) {
       pool.submit([&sum] { sum.fetch_add(10); });
     });
   }
-  pool.wait_idle();
+  ASSERT_TRUE(pool.wait_idle().ok());
   EXPECT_EQ(sum.load(), 8 + 80);
   // The pool is reusable after an idle barrier.
-  pool.parallel_for(5, [&sum](std::size_t) { sum.fetch_add(100); });
+  ASSERT_TRUE(
+      pool.parallel_for(5, [&sum](std::size_t) { sum.fetch_add(100); }).ok());
   EXPECT_EQ(sum.load(), 88 + 500);
 }
 
@@ -83,13 +85,14 @@ TEST(ThreadPool, UnevenTaskDurationsAreStolen) {
   // finish on other workers and the total equals the submitted count.
   ThreadPool pool(2);
   std::atomic<int> done{0};
-  pool.parallel_for(64, [&](std::size_t i) {
+  const Status st = pool.parallel_for(64, [&](std::size_t i) {
     if (i == 0) {
       volatile int spin = 0;
       while (spin < 2000000) spin = spin + 1;
     }
     done.fetch_add(1);
   });
+  EXPECT_TRUE(st.ok());
   EXPECT_EQ(done.load(), 64);
 }
 

@@ -1,0 +1,188 @@
+// Robustness corpus for specification JSON loading.
+//
+// Feeds byte-truncated and mutated variants of the shipped example
+// specifications (examples/specs/*.json) through `spec_from_string`.  The
+// contract under test is narrow but absolute: every input, however
+// mangled, must come back as a `Status` error or a parsed graph — never a
+// crash, hang, or leak (the suite runs under ASan/UBSan in CI).  Nothing
+// here asserts *which* error: mutations can be benign.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "spec/paper_models.hpp"
+#include "spec/spec_io.hpp"
+#include "util/json.hpp"
+
+namespace sdf {
+namespace {
+
+/// SplitMix64: tiny deterministic generator for mutation positions/bytes.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<std::string> corpus() {
+  std::vector<std::string> docs;
+#ifdef SDF_EXAMPLES_DIR
+  for (const char* name : {"settop.json", "decoder.json"}) {
+    std::ifstream in(std::string(SDF_EXAMPLES_DIR) + "/" + name);
+    if (!in) continue;
+    std::ostringstream text;
+    text << in.rdbuf();
+    docs.push_back(text.str());
+  }
+#endif
+  // The serialized paper models double the corpus (and keep the test
+  // meaningful even if the example files are unavailable).
+  docs.push_back(spec_to_string(models::make_settop_spec()).value());
+  docs.push_back(spec_to_string(models::make_tv_decoder_spec()).value());
+  return docs;
+}
+
+/// The only assertion most cases can make: parsing returns *something*.
+/// Lenient (validate=false) and strict modes both must survive.
+void expect_survives(const std::string& text) {
+  const Result<SpecificationGraph> strict = spec_from_string(text);
+  (void)strict;
+  SpecParseOptions lenient;
+  lenient.validate = false;
+  const Result<SpecificationGraph> loose = spec_from_string(text, lenient);
+  (void)loose;
+}
+
+TEST(SpecIoRobust, CorpusItselfParses) {
+  const std::vector<std::string> docs = corpus();
+  ASSERT_GE(docs.size(), 2u);  // at least the two serialized models
+  for (const std::string& doc : docs) {
+    const Result<SpecificationGraph> spec = spec_from_string(doc);
+    ASSERT_TRUE(spec.ok()) << spec.error().message;
+    EXPECT_TRUE(spec.value().validate().ok());
+  }
+}
+
+TEST(SpecIoRobust, EveryTruncationReturnsStatus) {
+  for (const std::string& doc : corpus()) {
+    // Every truncation point in the (structure-dense) head, then strided
+    // through the remainder to keep the corpus fast.
+    for (std::size_t len = 0; len < doc.size();
+         len += (len < 512 ? 1 : 7)) {
+      const std::string cut = doc.substr(0, len);
+      // A proper prefix of a well-formed document can never be complete.
+      EXPECT_FALSE(spec_from_string(cut).ok()) << "prefix length " << len;
+    }
+  }
+}
+
+TEST(SpecIoRobust, RandomByteMutationsNeverCrash) {
+  std::uint64_t rng = 0x5DF0C0FFEE5EEDULL;
+  for (const std::string& doc : corpus()) {
+    for (int round = 0; round < 400; ++round) {
+      std::string mutated = doc;
+      // 1-3 byte mutations per round: overwrite, delete, or duplicate.
+      const int edits = 1 + static_cast<int>(splitmix64(rng) % 3);
+      for (int e = 0; e < edits; ++e) {
+        const std::size_t pos = splitmix64(rng) % mutated.size();
+        switch (splitmix64(rng) % 3) {
+          case 0:
+            mutated[pos] = static_cast<char>(splitmix64(rng) & 0xFF);
+            break;
+          case 1:
+            mutated.erase(pos, 1);
+            break;
+          default:
+            mutated.insert(pos, 1, static_cast<char>(splitmix64(rng) & 0xFF));
+            break;
+        }
+        if (mutated.empty()) break;
+      }
+      expect_survives(mutated);
+    }
+  }
+}
+
+TEST(SpecIoRobust, StructuralCharacterSwapsNeverCrash) {
+  // Swapping structural characters produces the nastiest near-valid JSON;
+  // hit every occurrence instead of sampling.
+  const std::string structural = "{}[],:\"";
+  for (const std::string& doc : corpus()) {
+    for (std::size_t pos = 0; pos < doc.size(); ++pos) {
+      if (structural.find(doc[pos]) == std::string::npos) continue;
+      for (const char repl : {'}', ']', ',', '"', ' ', '\0'}) {
+        std::string mutated = doc;
+        mutated[pos] = repl;
+        expect_survives(mutated);
+      }
+    }
+  }
+}
+
+TEST(SpecIoRobust, HostileScalarsAreRejectedOrIgnored) {
+  for (const char* text : {
+           "",
+           "   ",
+           "null",
+           "[]",
+           "{}",
+           "{\"name\": 3}",
+           "{\"name\": \"x\", \"problem\": 7, \"architecture\": []}",
+           "{\"name\": \"x\", \"problem\": {\"root\": {\"nodes\": 1}}}",
+           "nan",
+           "Infinity",
+           "{\"name\": \"x\", \"mappings\": [{\"latency\": 1e309}]}",
+           "{\"name\": \"x\", \"mappings\": [{\"latency\": -1e309}]}",
+           "{\"a\": 1, \"a\": 2}",
+           "\"just a string\"",
+           "{\"name\": \"\\ud800\"}",  // lone surrogate escape
+           "{\"name\"",
+           "{\"name\": \"x\\",
+       }) {
+    SCOPED_TRACE(text);
+    expect_survives(text);
+  }
+}
+
+TEST(SpecIoRobust, DeepNestingIsRejectedNotOverflowed) {
+  // An adversarial nesting bomb must hit the parser's depth limit and
+  // return an error — recursing once per level would blow the stack.
+  for (const char open : {'[', '{'}) {
+    std::string bomb;
+    for (int i = 0; i < 100000; ++i) {
+      if (open == '{') bomb += "{\"a\":";
+      else bomb += '[';
+    }
+    const Result<Json> parsed = Json::parse(bomb);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.error().message.find("nesting too deep"),
+              std::string::npos);
+    EXPECT_FALSE(spec_from_string(bomb).ok());
+  }
+  // Nesting at the limit still parses.
+  std::string ok_doc;
+  for (int i = 0; i < 200; ++i) ok_doc += '[';
+  for (int i = 0; i < 200; ++i) ok_doc += ']';
+  EXPECT_TRUE(Json::parse(ok_doc).ok());
+}
+
+TEST(SpecIoRobust, BrokenCrossReferencesFailValidation) {
+  // Rename a referenced entity: the document stays well-formed JSON but
+  // the by-name references dangle.  Must be a Status error, not a crash.
+  for (const std::string& doc : corpus()) {
+    const std::size_t pos = doc.find("\"process\": \"");
+    if (pos == std::string::npos) continue;
+    std::string mutated = doc;
+    mutated.replace(pos, 12, "\"process\": \"@");
+    const Result<SpecificationGraph> spec = spec_from_string(mutated);
+    EXPECT_FALSE(spec.ok());
+  }
+}
+
+}  // namespace
+}  // namespace sdf
