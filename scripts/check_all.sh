@@ -17,7 +17,7 @@ echo "==================== fault injection (tsan) ===================="
 # production build stays injection-free.  TSan proves the pool's unwind
 # paths (throwing worker, bad_alloc, delayed task) are race-free.
 FAULT_BUILD=build-faultsan
-FAULT_TESTS=(fault_injection_test parallel_explore_test anytime_test)
+FAULT_TESTS=(fault_injection_test parallel_explore_test anytime_test bind_cache_test)
 cmake -B "$FAULT_BUILD" -DSDF_FAULT_INJECTION=ON -DSDF_SANITIZE=thread
 cmake --build "$FAULT_BUILD" --target "${FAULT_TESTS[@]}" -j "$(nproc)"
 for t in "${FAULT_TESTS[@]}"; do
@@ -37,5 +37,28 @@ for spec in examples/specs/*.json; do
   echo "lint $spec"
   "$SDF" lint "$spec"
 done
+
+echo "============ binding cache: front equivalence on examples ============"
+# The cache may only change work counters, never verdicts: the JSON front
+# with and without --no-bind-cache must be byte-identical, sequentially and
+# under the parallel engine's shared cache.  Only the "front" key is
+# compared — stats legitimately differ (wall time, cache counters).
+extract_front() {
+  python3 -c 'import json,sys; print(json.dumps(json.load(sys.stdin)["front"], indent=1))'
+}
+for spec in examples/specs/*.json; do
+  for threads in 1 4; do
+    echo "front diff (threads=$threads) $spec"
+    "$SDF" explore --json --no-stats --threads "$threads" "$spec" \
+      | extract_front > /tmp/sdf_front_cache_on.$$
+    "$SDF" explore --json --no-stats --threads "$threads" --no-bind-cache "$spec" \
+      | extract_front > /tmp/sdf_front_cache_off.$$
+    diff -u /tmp/sdf_front_cache_on.$$ /tmp/sdf_front_cache_off.$$ || {
+      echo "check_all: cache-on/off fronts differ for $spec (threads=$threads)" >&2
+      exit 1
+    }
+  done
+done
+rm -f /tmp/sdf_front_cache_on.$$ /tmp/sdf_front_cache_off.$$
 
 echo "ALL GATES PASSED"

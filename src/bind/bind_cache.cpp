@@ -1,0 +1,231 @@
+#include "bind/bind_cache.hpp"
+
+#include <cstddef>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "spec/compiled.hpp"
+#include "util/fault_injection.hpp"
+
+namespace sdf {
+namespace {
+
+/// Canonical per-ECA key: the sorted cluster-selection pairs plus the
+/// activated cluster ids.  Two ECAs with the same key flatten to the same
+/// subproblem, so their frontiers are interchangeable.
+using EcaKey = std::vector<std::uint32_t>;
+
+EcaKey make_key(const Eca& eca) {
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> selection =
+      eca.selection.key();
+  EcaKey key;
+  key.reserve(2 * selection.size() + eca.clusters.size() + 2);
+  key.push_back(static_cast<std::uint32_t>(selection.size()));
+  for (const auto& [interface_id, cluster_id] : selection) {
+    key.push_back(interface_id);
+    key.push_back(cluster_id);
+  }
+  key.push_back(static_cast<std::uint32_t>(eca.clusters.size()));
+  for (const ClusterId c : eca.clusters)
+    key.push_back(static_cast<std::uint32_t>(c.index()));
+  return key;
+}
+
+std::size_t hash_key(const EcaKey& key) {
+  // FNV-1a over the words.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint32_t w : key) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+struct EcaKeyHash {
+  std::size_t operator()(const EcaKey& key) const { return hash_key(key); }
+};
+
+struct FeasibleEntry {
+  DynBitset alloc;  ///< minimal known-feasible allocation
+  Binding witness;  ///< a feasible binding using only units in `alloc`
+};
+
+/// Per-ECA frontier: antichains of minimal feasible and maximal infeasible
+/// allocations.
+struct Frontier {
+  std::vector<FeasibleEntry> minimal_feasible;
+  std::vector<DynBitset> maximal_infeasible;
+};
+
+}  // namespace
+
+struct BindCache::Shard {
+  std::mutex mutex;
+  std::unordered_map<EcaKey, Frontier, EcaKeyHash> map;
+};
+
+BindCache::BindCache(std::size_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+BindCache::~BindCache() = default;
+
+BindCache::Shard& BindCache::shard_for(
+    const std::vector<std::uint32_t>& key) const {
+  return *shards_[hash_key(key) % shards_.size()];
+}
+
+std::optional<Binding> BindCache::solve(const CompiledSpec& cs,
+                                        const AllocSet& alloc, const Eca& eca,
+                                        const SolverOptions& options,
+                                        SolverStats* stats) {
+  SolverStats local;
+  SolverStats& s = stats != nullptr ? *stats : local;
+
+  EcaKey key = make_key(eca);
+  Shard& shard = shard_for(key);
+
+  // Probe under the shard lock; copy any witness out and revalidate
+  // outside it so the lock is never held across real work.
+  std::optional<Binding> witness;
+  bool infeasible_hit = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      for (const FeasibleEntry& entry : it->second.minimal_feasible) {
+        if (entry.alloc.is_subset_of(alloc)) {
+          witness = entry.witness;
+          break;
+        }
+      }
+      if (!witness.has_value()) {
+        for (const DynBitset& m : it->second.maximal_infeasible) {
+          if (alloc.is_subset_of(m)) {
+            infeasible_hit = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  if (witness.has_value()) {
+    ++s.cache_revalidations;
+    revalidations_.fetch_add(1, std::memory_order_relaxed);
+    if (binding_feasible(cs, alloc, eca, *witness, options)) {
+      s.aborted = false;
+      s.outcome = SolveOutcome::kFeasible;
+      ++s.cache_hits_feasible;
+      hits_feasible_.fetch_add(1, std::memory_order_relaxed);
+      s.cache_entries = entries();
+      return witness;
+    }
+    // Monotonicity guarantees revalidation cannot fail; stay sound anyway
+    // by falling through to a real solve.
+    witness.reset();
+  } else if (infeasible_hit) {
+    s.aborted = false;
+    s.outcome = SolveOutcome::kInfeasible;
+    ++s.cache_hits_infeasible;
+    hits_infeasible_.fetch_add(1, std::memory_order_relaxed);
+    s.cache_entries = entries();
+    return std::nullopt;
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  std::optional<Binding> solved = solve_binding(cs, alloc, eca, options, &s);
+  if (s.outcome == SolveOutcome::kFeasible && solved.has_value()) {
+    insert_feasible(shard, std::move(key), alloc, *solved);
+  } else if (s.outcome == SolveOutcome::kInfeasible) {
+    insert_infeasible(shard, std::move(key), alloc);
+  }
+  // kNodeLimit / kBudgetExceeded / kCancelled: the solver gave up — that
+  // verdict proves nothing and must never enter the frontier.
+  s.cache_entries = entries();
+  return solved;
+}
+
+void BindCache::insert_feasible(Shard& shard, std::vector<std::uint32_t> key,
+                                const AllocSet& alloc,
+                                const Binding& witness) {
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  SDF_FAULT_POINT("bind_cache.insert");
+  std::vector<FeasibleEntry>& frontier =
+      shard.map[std::move(key)].minimal_feasible;
+  // Insert-if-absent merge: a concurrent worker may have proven a subset
+  // already, making this verdict redundant.
+  for (const FeasibleEntry& entry : frontier)
+    if (entry.alloc.is_subset_of(alloc)) return;
+  frontier.push_back(FeasibleEntry{alloc, witness});
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  SDF_FAULT_POINT("bind_cache.merge");
+  // Prune entries dominated by the new one (strict supersets — they are no
+  // longer minimal).  A fault between the push and here only skips this
+  // pruning: the dominated entries are still true, so lookups stay sound.
+  const std::size_t last = frontier.size() - 1;
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < last; ++r) {
+    if (alloc.is_subset_of(frontier[r].alloc)) continue;
+    if (w != r) frontier[w] = std::move(frontier[r]);
+    ++w;
+  }
+  if (w != last) {
+    frontier[w] = std::move(frontier[last]);
+    frontier.resize(w + 1);
+    entries_.fetch_sub(last - w, std::memory_order_relaxed);
+  }
+}
+
+void BindCache::insert_infeasible(Shard& shard, std::vector<std::uint32_t> key,
+                                  const AllocSet& alloc) {
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  SDF_FAULT_POINT("bind_cache.insert");
+  std::vector<DynBitset>& frontier =
+      shard.map[std::move(key)].maximal_infeasible;
+  for (const DynBitset& m : frontier)
+    if (alloc.is_subset_of(m)) return;
+  frontier.push_back(alloc);
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  SDF_FAULT_POINT("bind_cache.merge");
+  const std::size_t last = frontier.size() - 1;
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < last; ++r) {
+    if (frontier[r].is_subset_of(alloc)) continue;  // dominated subset
+    if (w != r) frontier[w] = std::move(frontier[r]);
+    ++w;
+  }
+  if (w != last) {
+    frontier[w] = std::move(frontier[last]);
+    frontier.resize(w + 1);
+    entries_.fetch_sub(last - w, std::memory_order_relaxed);
+  }
+}
+
+BindCacheStats BindCache::stats() const {
+  BindCacheStats out;
+  out.hits_feasible = hits_feasible_.load(std::memory_order_relaxed);
+  out.hits_infeasible = hits_infeasible_.load(std::memory_order_relaxed);
+  out.revalidations = revalidations_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.entries = entries_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void BindCache::clear() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->map.clear();
+  }
+  hits_feasible_.store(0, std::memory_order_relaxed);
+  hits_infeasible_.store(0, std::memory_order_relaxed);
+  revalidations_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  entries_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sdf

@@ -1,0 +1,108 @@
+// Cross-allocation monotone feasibility cache for the binding solver.
+//
+// Binding feasibility is monotone in the allocation lattice: a binding that
+// is feasible under allocation A stays feasible under every superset A' ⊇ A
+// (the witness only uses units in A, and adding units or buses only adds
+// communication reachability), and infeasibility under A transfers to every
+// subset.  The cache exploits this by storing, per ECA, a frontier of
+// *minimal feasible* allocations (each with its witness binding) and
+// *maximal infeasible* allocations:
+//
+//   * superset hit on the feasible frontier → return the cached witness
+//     after a cheap O(n + edges) revalidation pass (no search);
+//   * subset hit on the infeasible frontier → proof of infeasibility,
+//     no search;
+//   * a genuine gap falls through to the solver, whose verdict extends the
+//     frontier.
+//
+// Budget/cancel aborts (`kBudgetExceeded` / `kCancelled` / `kNodeLimit`)
+// prove nothing and are never cached.
+//
+// Invariants, in order of importance:
+//   1. Soundness: every stored fact was proven by the solver.  This is the
+//      only invariant correctness depends on — a fault mid-insert may leave
+//      a redundant (dominated) entry behind, which costs a few extra subset
+//      tests but can never change a verdict.
+//   2. Antichain minimality: inserts prune entries dominated by the new
+//      one, keeping frontiers small.  Purely an optimization.
+//
+// Thread safety: the key space is sharded; each shard holds one mutex and
+// one hash map.  Lookups copy the witness out under the shard lock and
+// revalidate outside it; inserts are insert-if-absent merges (an entry
+// already implied by the frontier is dropped).  At most one shard lock is
+// ever held, so the cache cannot deadlock against itself.
+//
+// The cache is derived data: it is deliberately NOT checkpointed, and a
+// resumed run starts cold and rebuilds it (see docs/ROBUSTNESS.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bind/solver.hpp"
+
+namespace sdf {
+
+struct BindCacheStats {
+  std::uint64_t hits_feasible = 0;
+  std::uint64_t hits_infeasible = 0;
+  std::uint64_t revalidations = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t entries = 0;  ///< total frontier entries across all ECAs
+};
+
+class BindCache {
+ public:
+  explicit BindCache(std::size_t shard_count = 16);
+  ~BindCache();
+
+  BindCache(const BindCache&) = delete;
+  BindCache& operator=(const BindCache&) = delete;
+
+  /// Drop-in replacement for `solve_binding`: answers from the frontier
+  /// when the verdict is already proven, otherwise runs the solver and
+  /// extends the frontier with its verdict.  Verdicts (and therefore every
+  /// front/pruning decision downstream) are identical to the raw solver's;
+  /// only the witness binding of a feasible hit may differ (it was found
+  /// under a subset allocation and revalidated for this one).
+  ///
+  /// Per-call `stats` fields (`outcome`, `aborted`) are reset exactly like
+  /// `solve_binding`; cache counters accumulate.
+  [[nodiscard]] std::optional<Binding> solve(const CompiledSpec& cs,
+                                             const AllocSet& alloc,
+                                             const Eca& eca,
+                                             const SolverOptions& options = {},
+                                             SolverStats* stats = nullptr);
+
+  /// Aggregate counters (approximate under concurrent use).
+  [[nodiscard]] BindCacheStats stats() const;
+
+  /// Total frontier entries (minimal feasible + maximal infeasible).
+  [[nodiscard]] std::uint64_t entries() const {
+    return entries_.load(std::memory_order_relaxed);
+  }
+
+  /// Empties every shard and zeroes the counters.
+  void clear();
+
+ private:
+  struct Shard;
+
+  Shard& shard_for(const std::vector<std::uint32_t>& key) const;
+  void insert_feasible(Shard& shard, std::vector<std::uint32_t> key,
+                       const AllocSet& alloc, const Binding& witness);
+  void insert_infeasible(Shard& shard, std::vector<std::uint32_t> key,
+                         const AllocSet& alloc);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_feasible_{0};
+  std::atomic<std::uint64_t> hits_infeasible_{0};
+  std::atomic<std::uint64_t> revalidations_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> entries_{0};
+};
+
+}  // namespace sdf

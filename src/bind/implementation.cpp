@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bind/bind_cache.hpp"
 #include "flex/activatability.hpp"
 #include "flex/flexibility.hpp"
 #include "spec/compiled.hpp"
@@ -52,8 +53,13 @@ std::optional<Implementation> build_implementation(
     SolverStats ss;
     ++st.solver_calls;
     std::optional<Binding> binding =
-        solve_binding(cs, alloc, eca, options.solver, &ss);
+        options.bind_cache != nullptr
+            ? options.bind_cache->solve(cs, alloc, eca, options.solver, &ss)
+            : solve_binding(cs, alloc, eca, options.solver, &ss);
     st.solver_nodes += ss.nodes;
+    st.cache_hits_feasible += ss.cache_hits_feasible;
+    st.cache_hits_infeasible += ss.cache_hits_infeasible;
+    st.cache_revalidations += ss.cache_revalidations;
     if (ss.outcome == SolveOutcome::kBudgetExceeded ||
         ss.outcome == SolveOutcome::kCancelled) {
       // The budget is gone: remaining ECAs would abort the same way, and a

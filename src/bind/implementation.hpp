@@ -51,16 +51,35 @@ struct Implementation {
       const HierarchicalGraph& problem) const;
 };
 
+class BindCache;
+
 struct ImplementationOptions {
   SolverOptions solver;
   /// Cap on enumerated elementary activations (0 = unlimited).
   std::size_t eca_limit = 4096;
+  /// Cross-allocation binding cache (not owned; may be null).  When set,
+  /// every ECA feasibility query routes through it; verdicts — and thus the
+  /// resulting implementation, flexibility and cost — are identical to the
+  /// raw solver's.
+  BindCache* bind_cache = nullptr;
+  /// Engine-level default: the explore engines attach a run-local cache
+  /// when this is true and `bind_cache` is null.  `--no-bind-cache` clears
+  /// it.
+  bool use_bind_cache = true;
 };
 
 struct ImplementationStats {
   std::uint64_t ecas_enumerated = 0;
+  /// ECA feasibility queries issued (cache hits included) — invariant
+  /// under caching and under checkpoint/resume.
   std::uint64_t solver_calls = 0;
+  /// Decision nodes actually searched — the work metric the cache reduces;
+  /// NOT resume-invariant when the cache is on (a resumed run starts
+  /// cold).
   std::uint64_t solver_nodes = 0;
+  std::uint64_t cache_hits_feasible = 0;
+  std::uint64_t cache_hits_infeasible = 0;
+  std::uint64_t cache_revalidations = 0;
   /// Solver calls that were aborted by the run budget (vs. proven
   /// infeasible).  When nonzero the construction is *incomplete*: the
   /// returned implementation (or nullopt) says nothing definitive about

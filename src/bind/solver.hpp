@@ -58,10 +58,22 @@ enum class SolveOutcome : std::uint8_t {
 };
 
 struct SolverStats {
+  // Cumulative counters: a stats object reused across calls keeps
+  // accumulating (callers that want per-call numbers use a fresh object or
+  // diff snapshots).
   std::uint64_t nodes = 0;       ///< decision nodes visited
   std::uint64_t backtracks = 0;  ///< failed branches undone
+  std::uint64_t cache_hits_feasible = 0;    ///< BindCache witness hits
+  std::uint64_t cache_hits_infeasible = 0;  ///< BindCache proof hits
+  std::uint64_t cache_revalidations = 0;    ///< cached-witness rechecks
+  // Per-call fields: reset at the entry of every solve (`solve_binding` and
+  // `BindCache::solve`), so a reused stats object cannot leak a previous
+  // call's verdict.
   bool aborted = false;          ///< node limit or budget hit
   SolveOutcome outcome = SolveOutcome::kInfeasible;
+  /// Total frontier entries in the cache after the most recent call that
+  /// went through a `BindCache` (untouched by raw `solve_binding`).
+  std::uint64_t cache_entries = 0;
 };
 
 /// Searches for a feasible binding of the processes activated by `eca` onto
@@ -78,6 +90,18 @@ struct SolverStats {
 [[nodiscard]] std::optional<Binding> solve_binding(
     const SpecificationGraph& spec, const AllocSet& alloc, const Eca& eca,
     const SolverOptions& options = {}, SolverStats* stats = nullptr);
+
+/// Full feasibility check of `binding` as a witness for (`alloc`, `eca`):
+/// rules 1-3 plus exclusive configurations, the utilization bound and
+/// capacities — everything the solver enforces, in one pass with no search.
+/// Used by the binding cache to revalidate a witness found under a subset
+/// allocation before returning it for a superset.  Assumes the assignments
+/// use genuine mapping alternatives (solver provenance); it does not
+/// re-derive the mapping edges.
+[[nodiscard]] bool binding_feasible(const CompiledSpec& cs,
+                                    const AllocSet& alloc, const Eca& eca,
+                                    const Binding& binding,
+                                    const SolverOptions& options = {});
 
 /// Utilization of each unit under `binding`: sum over bound processes of
 /// timing_weight * latency / period (processes without a period contribute

@@ -219,6 +219,9 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
   flags.define("target-f", "",
                "also answer: cheapest platform reaching this flexibility");
   flags.define_bool("stats", true, "print exploration statistics");
+  flags.define_bool("bind-cache", true,
+                    "cross-allocation binding feasibility cache "
+                    "(--no-bind-cache re-solves every ECA from scratch)");
   flags.define_bool("preflight", true,
                     "error-severity lint gate before exploring");
   flags.define_bool("evolutionary", false, "use the heuristic EA explorer");
@@ -265,6 +268,7 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
   options.implementation.solver.utilization_bound =
       flags.get_double("util-bound");
   options.prune_dominated_allocations = flags.get_bool("dominance-filter");
+  options.implementation.use_bind_cache = flags.get_bool("bind-cache");
   options.use_flexibility_bound = flags.get_bool("flex-bound");
   options.use_branch_bound = flags.get_bool("branch-bound");
   options.collect_equivalents = flags.get_bool("equivalents");
@@ -418,7 +422,12 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
         << " candidates=" << stats.candidates_generated
         << " possible_allocations=" << stats.possible_allocations
         << " attempts=" << stats.implementation_attempts
-        << " solver_calls=" << stats.solver_calls;
+        << " solver_calls=" << stats.solver_calls
+        << " solver_nodes=" << stats.solver_nodes
+        << " cache_hits_feasible=" << stats.cache_hits_feasible
+        << " cache_hits_infeasible=" << stats.cache_hits_infeasible
+        << " cache_revalidations=" << stats.cache_revalidations
+        << " cache_entries=" << stats.cache_entries;
     if (stats.stop_reason != StopReason::kCompleted) {
       out << " stop_reason=" << stop_reason_name(stats.stop_reason)
           << " budget_abandoned=" << stats.budget_abandoned

@@ -35,6 +35,7 @@
 #include "activation/activation_state.hpp"
 #include "activation/cover_timeline.hpp"
 #include "activation/timeline.hpp"
+#include "bind/bind_cache.hpp"
 #include "bind/binding.hpp"
 #include "bind/eca.hpp"
 #include "bind/enumerate.hpp"

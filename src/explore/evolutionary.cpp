@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "bind/bind_cache.hpp"
 #include "moo/pareto.hpp"
 #include "spec/compiled.hpp"
 #include "util/rng.hpp"
@@ -53,6 +54,9 @@ EaResult explore_evolutionary(const SpecificationGraph& spec,
   BudgetTracker tracker(options.budget);
   ImplementationOptions eval_impl = options.implementation;
   eval_impl.solver.budget = &tracker;
+  BindCache bind_cache;
+  if (eval_impl.use_bind_cache && eval_impl.bind_cache == nullptr)
+    eval_impl.bind_cache = &bind_cache;
   bool stopped = false;  // budget tripped: wind down, keep the archive
 
   auto evaluate = [&](const AllocSet& genome) {

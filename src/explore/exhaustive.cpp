@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "bind/bind_cache.hpp"
 #include "moo/pareto.hpp"
 #include "spec/compiled.hpp"
 
@@ -22,6 +23,9 @@ ExhaustiveResult explore_exhaustive(const SpecificationGraph& spec,
   BudgetTracker tracker(budget);
   ImplementationOptions eval = options;
   eval.solver.budget = &tracker;
+  BindCache bind_cache;
+  if (eval.use_bind_cache && eval.bind_cache == nullptr)
+    eval.bind_cache = &bind_cache;
 
   std::vector<Implementation> feasible;
   for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {

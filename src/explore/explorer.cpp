@@ -5,6 +5,7 @@
 #include <deque>
 #include <utility>
 
+#include "bind/bind_cache.hpp"
 #include "explore/allocation_enum.hpp"
 #include "flex/activatability.hpp"
 #include "flex/flexibility.hpp"
@@ -104,6 +105,11 @@ ExploreResult explore(const SpecificationGraph& spec,
   // Candidate evaluation charges every solver node to the run budget.
   ImplementationOptions eval_impl = options.implementation;
   eval_impl.solver.budget = &tracker;
+  // Run-local binding cache: derived data, rebuilt from scratch on resume
+  // (deliberately not checkpointed — see docs/ROBUSTNESS.md).
+  BindCache bind_cache;
+  if (eval_impl.use_bind_cache && eval_impl.bind_cache == nullptr)
+    eval_impl.bind_cache = &bind_cache;
 
   double f_cur = 0.0;
   // When collecting equivalents, the search ends after walking through the
@@ -202,6 +208,9 @@ ExploreResult explore(const SpecificationGraph& spec,
         build_implementation(cs, *a, eval_impl, &istats);
     result.stats.solver_calls += istats.solver_calls;
     result.stats.solver_nodes += istats.solver_nodes;
+    result.stats.cache_hits_feasible += istats.cache_hits_feasible;
+    result.stats.cache_hits_infeasible += istats.cache_hits_infeasible;
+    result.stats.cache_revalidations += istats.cache_revalidations;
 
     if (istats.budget_exceeded()) {
       // Abandoned mid-evaluation: roll the candidate's charges back (the
@@ -280,6 +289,9 @@ ExploreResult explore(const SpecificationGraph& spec,
         static_cast<unsigned long long>(result.stats.candidates_generated),
         format_double(result.stats.exact_up_to_cost).c_str()));
   }
+
+  if (eval_impl.bind_cache != nullptr)
+    result.stats.cache_entries = eval_impl.bind_cache->entries();
 
   const auto t1 = std::chrono::steady_clock::now();
   result.stats.wall_seconds =

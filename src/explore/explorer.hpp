@@ -85,8 +85,19 @@ struct ExploreStats {
   std::uint64_t flexibility_estimations = 0;
   std::uint64_t bound_skipped = 0;     ///< estimate <= incumbent
   std::uint64_t implementation_attempts = 0;
-  std::uint64_t solver_calls = 0;      ///< binding-solver invocations (ECAs)
+  /// ECA feasibility queries (cache hits included) — invariant under
+  /// caching and checkpoint/resume.
+  std::uint64_t solver_calls = 0;
+  /// Decision nodes actually searched: the work the binding cache avoids.
+  /// Not resume-invariant with the cache on (a resumed run starts cold).
   std::uint64_t solver_nodes = 0;
+  // Binding-cache counters (informational, like wall times: they describe
+  // work performed in *this* run and are neither checkpointed nor
+  // deterministic across thread schedules).
+  std::uint64_t cache_hits_feasible = 0;
+  std::uint64_t cache_hits_infeasible = 0;
+  std::uint64_t cache_revalidations = 0;
+  std::uint64_t cache_entries = 0;
   std::uint64_t branches_pruned = 0;
   bool exhausted = false;              ///< stream ran dry (vs. early stop)
   double wall_seconds = 0.0;

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "bind/bind_cache.hpp"
 #include "explore/allocation_enum.hpp"
 #include "flex/activatability.hpp"
 #include "flex/flexibility.hpp"
@@ -25,14 +26,19 @@ UpgradeResult explore_upgrades(const SpecificationGraph& spec,
   result.stats.raw_design_points =
       std::pow(2.0, static_cast<double>(result.stats.universe));
 
-  if (const auto base =
-          build_implementation(cs, existing, options.implementation)) {
-    result.baseline_flexibility = base->flexibility;
-  }
-
   BudgetTracker tracker(options.budget);
   ImplementationOptions eval_impl = options.implementation;
   eval_impl.solver.budget = &tracker;
+  // Run-local binding cache; the baseline evaluation below warms it.
+  BindCache bind_cache;
+  if (eval_impl.use_bind_cache && eval_impl.bind_cache == nullptr)
+    eval_impl.bind_cache = &bind_cache;
+
+  ImplementationOptions base_impl = eval_impl;
+  base_impl.solver.budget = nullptr;  // the baseline costs no run budget
+  if (const auto base = build_implementation(cs, existing, base_impl)) {
+    result.baseline_flexibility = base->flexibility;
+  }
 
   double f_cur = result.baseline_flexibility;
   const DominanceContext dominance(cs);
@@ -88,6 +94,9 @@ UpgradeResult explore_upgrades(const SpecificationGraph& spec,
         build_implementation(cs, *a, eval_impl, &istats);
     result.stats.solver_calls += istats.solver_calls;
     result.stats.solver_nodes += istats.solver_nodes;
+    result.stats.cache_hits_feasible += istats.cache_hits_feasible;
+    result.stats.cache_hits_infeasible += istats.cache_hits_infeasible;
+    result.stats.cache_revalidations += istats.cache_revalidations;
     if (istats.budget_exceeded()) {
       // Abandoned mid-evaluation: this candidate is unknown, not infeasible.
       ++result.stats.budget_abandoned;
@@ -115,6 +124,8 @@ UpgradeResult explore_upgrades(const SpecificationGraph& spec,
   }
   result.stats.branches_pruned = stream.pruned();
   result.stats.frontier_remaining = stream.frontier_size();
+  if (eval_impl.bind_cache != nullptr)
+    result.stats.cache_entries = eval_impl.bind_cache->entries();
 
   const auto t1 = std::chrono::steady_clock::now();
   result.stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();

@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "bind/bind_cache.hpp"
 #include "explore/allocation_enum.hpp"
 #include "flex/activatability.hpp"
 #include "flex/flexibility.hpp"
@@ -64,6 +65,9 @@ struct BandCandidate {
   std::uint64_t implementation_attempts = 0;
   std::uint64_t solver_calls = 0;
   std::uint64_t solver_nodes = 0;
+  std::uint64_t cache_hits_feasible = 0;
+  std::uint64_t cache_hits_infeasible = 0;
+  std::uint64_t cache_revalidations = 0;
   double filter_seconds = 0.0;
   double implement_seconds = 0.0;
 };
@@ -132,6 +136,9 @@ void evaluate_candidate(const CompiledSpec& cs,
       build_implementation(cs, cand.alloc, impl_opts, &istats);
   cand.solver_calls = istats.solver_calls;
   cand.solver_nodes = istats.solver_nodes;
+  cand.cache_hits_feasible = istats.cache_hits_feasible;
+  cand.cache_hits_infeasible = istats.cache_hits_infeasible;
+  cand.cache_revalidations = istats.cache_revalidations;
   cand.implement_seconds = seconds_since(t1);
   if (istats.budget_exceeded()) {
     cand.budget_aborted = true;
@@ -172,6 +179,13 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
   // thread charges allocations during band assembly.
   ImplementationOptions eval_impl = options.implementation;
   eval_impl.solver.budget = &tracker;
+  // One binding cache shared by all band workers (sharded mutexes,
+  // insert-if-absent merge).  It only skips work whose outcome is already
+  // proven, so the merged front stays bit-identical to the sequential
+  // engine's whatever the thread schedule.
+  BindCache bind_cache;
+  if (eval_impl.use_bind_cache && eval_impl.bind_cache == nullptr)
+    eval_impl.bind_cache = &bind_cache;
 
   double f_cur = 0.0;          // committed incumbent: merged candidates only
   double max_tie_cost = -1.0;  // collect_equivalents end-of-search tie cost
@@ -346,6 +360,9 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
       result.stats.implementation_attempts += cand.implementation_attempts;
       result.stats.solver_calls += cand.solver_calls;
       result.stats.solver_nodes += cand.solver_nodes;
+      result.stats.cache_hits_feasible += cand.cache_hits_feasible;
+      result.stats.cache_hits_infeasible += cand.cache_hits_infeasible;
+      result.stats.cache_revalidations += cand.cache_revalidations;
       result.stats.filter_cpu_seconds += cand.filter_seconds;
       result.stats.implement_cpu_seconds += cand.implement_seconds;
     }
@@ -434,6 +451,9 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
         stop_reason_name(result.stats.stop_reason),
         format_double(result.stats.exact_up_to_cost).c_str()));
   }
+
+  if (eval_impl.bind_cache != nullptr)
+    result.stats.cache_entries = eval_impl.bind_cache->entries();
 
   result.stats.wall_seconds = seconds_since(t0);
   return result;

@@ -57,6 +57,19 @@ Json explore_result_to_json(const SpecificationGraph& spec,
       Json(static_cast<double>(result.stats.implementation_attempts)));
   stats.emplace_back("solver_calls",
                      Json(static_cast<double>(result.stats.solver_calls)));
+  stats.emplace_back("solver_nodes",
+                     Json(static_cast<double>(result.stats.solver_nodes)));
+  stats.emplace_back(
+      "cache_hits_feasible",
+      Json(static_cast<double>(result.stats.cache_hits_feasible)));
+  stats.emplace_back(
+      "cache_hits_infeasible",
+      Json(static_cast<double>(result.stats.cache_hits_infeasible)));
+  stats.emplace_back(
+      "cache_revalidations",
+      Json(static_cast<double>(result.stats.cache_revalidations)));
+  stats.emplace_back("cache_entries",
+                     Json(static_cast<double>(result.stats.cache_entries)));
   stats.emplace_back("wall_seconds", Json(result.stats.wall_seconds));
   stats.emplace_back("index_build_seconds",
                      Json(result.stats.index_build_seconds));

@@ -1,0 +1,608 @@
+// Tests for the cross-allocation binding cache (BindCache) and the solver
+// stats per-call reset contract it depends on.
+//
+// The load-bearing property is allocation-lattice monotonicity:
+//   feasible(A)   ⇒ feasible(A ∪ {u})    (witness still valid, more comm)
+//   infeasible(A) ⇒ infeasible(A \ {u})  (fewer units can't help)
+// which the property tests check against the raw solver on generated specs,
+// and which the cache tests rely on for superset/subset hits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bind/bind_cache.hpp"
+#include "bind/eca.hpp"
+#include "bind/solver.hpp"
+#include "explore/explorer.hpp"
+#include "explore/parallel_explorer.hpp"
+#include "flex/activatability.hpp"
+#include "gen/spec_generator.hpp"
+#include "spec/compiled.hpp"
+#include "spec/paper_models.hpp"
+#include "util/fault_injection.hpp"
+#include "util/rng.hpp"
+
+namespace sdf {
+namespace {
+
+const SpecificationGraph& settop() {
+  static const SpecificationGraph spec = models::make_settop_spec();
+  return spec;
+}
+
+const SpecificationGraph& decoder() {
+  static const SpecificationGraph spec = models::make_tv_decoder_spec();
+  return spec;
+}
+
+AllocSet full_alloc(const CompiledSpec& cs) {
+  AllocSet a = cs.make_alloc_set();
+  for (std::size_t i = 0; i < a.size(); ++i) a.set(i);
+  return a;
+}
+
+/// ECAs reachable under the full allocation (every cluster activatable).
+std::vector<Eca> full_ecas(const CompiledSpec& cs, std::size_t limit = 0) {
+  const Activatability act(cs, full_alloc(cs));
+  return enumerate_ecas(cs.problem(), act.clusters(), limit);
+}
+
+/// An ECA whose uncached solve visits at least two nodes, so a
+/// `node_limit = 1` run genuinely aborts instead of finishing.
+const Eca* find_hard_eca(const CompiledSpec& cs, const std::vector<Eca>& ecas,
+                         const AllocSet& alloc) {
+  for (const Eca& eca : ecas) {
+    SolverStats st;
+    (void)solve_binding(cs, alloc, eca, {}, &st);
+    if (st.outcome == SolveOutcome::kFeasible && st.nodes >= 2) return &eca;
+  }
+  return nullptr;
+}
+
+void expect_fronts_equal(const ExploreResult& a, const ExploreResult& b) {
+  ASSERT_EQ(a.front.size(), b.front.size());
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    SCOPED_TRACE("front row " + std::to_string(i));
+    EXPECT_EQ(a.front[i].cost, b.front[i].cost);
+    EXPECT_EQ(a.front[i].flexibility, b.front[i].flexibility);
+    EXPECT_TRUE(a.front[i].units == b.front[i].units);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SolverStats per-call reset (regression: a reused stats object must not
+// leak the previous call's verdict or abort flag).
+// ---------------------------------------------------------------------------
+
+TEST(SolverStatsReuse, OutcomeAndAbortAreResetOnEveryCall) {
+  const CompiledSpec& cs = settop().compiled();
+  const std::vector<Eca> ecas = full_ecas(cs);
+  ASSERT_FALSE(ecas.empty());
+  const AllocSet full = full_alloc(cs);
+  const Eca* hard = find_hard_eca(cs, ecas, full);
+  ASSERT_NE(hard, nullptr);
+
+  SolverStats st;  // one object, reused across all four calls
+
+  // 1. Feasible call.
+  ASSERT_TRUE(solve_binding(cs, full, *hard, {}, &st).has_value());
+  EXPECT_EQ(st.outcome, SolveOutcome::kFeasible);
+  EXPECT_FALSE(st.aborted);
+  const std::uint64_t nodes_after_first = st.nodes;
+  EXPECT_GE(nodes_after_first, 2u);
+
+  // 2. Infeasible call (empty allocation): outcome must flip, nodes keep
+  //    accumulating.
+  EXPECT_FALSE(
+      solve_binding(cs, cs.make_alloc_set(), *hard, {}, &st).has_value());
+  EXPECT_EQ(st.outcome, SolveOutcome::kInfeasible);
+  EXPECT_FALSE(st.aborted);
+  EXPECT_GE(st.nodes, nodes_after_first);  // cumulative, never reset
+
+  // 3. Aborted call (node limit).
+  SolverOptions limited;
+  limited.node_limit = 1;
+  EXPECT_FALSE(solve_binding(cs, full, *hard, limited, &st).has_value());
+  EXPECT_EQ(st.outcome, SolveOutcome::kNodeLimit);
+  EXPECT_TRUE(st.aborted);
+
+  // 4. Feasible again: the stale abort flag and verdict must be cleared.
+  ASSERT_TRUE(solve_binding(cs, full, *hard, {}, &st).has_value());
+  EXPECT_EQ(st.outcome, SolveOutcome::kFeasible);
+  EXPECT_FALSE(st.aborted);
+}
+
+TEST(SolverStatsReuse, CacheSolveResetsPerCallFieldsToo) {
+  const CompiledSpec& cs = settop().compiled();
+  const std::vector<Eca> ecas = full_ecas(cs);
+  ASSERT_FALSE(ecas.empty());
+  const AllocSet full = full_alloc(cs);
+
+  BindCache cache;
+  SolverStats st;
+  ASSERT_TRUE(cache.solve(cs, full, ecas[0], {}, &st).has_value());
+  EXPECT_EQ(st.outcome, SolveOutcome::kFeasible);
+  EXPECT_FALSE(
+      cache.solve(cs, cs.make_alloc_set(), ecas[0], {}, &st).has_value());
+  EXPECT_EQ(st.outcome, SolveOutcome::kInfeasible);
+  EXPECT_FALSE(st.aborted);
+  // Second feasible query is a hit and must still report kFeasible.
+  ASSERT_TRUE(cache.solve(cs, full, ecas[0], {}, &st).has_value());
+  EXPECT_EQ(st.outcome, SolveOutcome::kFeasible);
+}
+
+// ---------------------------------------------------------------------------
+// BindCache frontier mechanics.
+// ---------------------------------------------------------------------------
+
+TEST(BindCacheTest, IdenticalQueryIsAFeasibleHitWithAValidWitness) {
+  const CompiledSpec& cs = settop().compiled();
+  const std::vector<Eca> ecas = full_ecas(cs);
+  ASSERT_FALSE(ecas.empty());
+  const AllocSet full = full_alloc(cs);
+
+  BindCache cache;
+  SolverStats st;
+  ASSERT_TRUE(cache.solve(cs, full, ecas[0], {}, &st).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_GE(cache.entries(), 1u);
+
+  const std::optional<Binding> again = cache.solve(cs, full, ecas[0], {}, &st);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(cache.stats().hits_feasible, 1u);
+  EXPECT_EQ(cache.stats().revalidations, 1u);
+  EXPECT_EQ(st.cache_hits_feasible, 1u);
+  EXPECT_EQ(st.cache_revalidations, 1u);
+  EXPECT_EQ(st.cache_entries, cache.entries());
+  EXPECT_TRUE(binding_feasible(cs, full, ecas[0], *again));
+}
+
+TEST(BindCacheTest, SupersetQueryReusesASubsetWitness) {
+  const CompiledSpec& cs = settop().compiled();
+  const std::vector<Eca> ecas = full_ecas(cs);
+  ASSERT_FALSE(ecas.empty());
+  const AllocSet full = full_alloc(cs);
+
+  // Find a proper subset that is still feasible for ecas[0].
+  AllocSet sub = cs.make_alloc_set();
+  bool found = false;
+  for (std::size_t u = 0; u < full.size() && !found; ++u) {
+    AllocSet candidate = full;
+    candidate.reset(u);
+    SolverStats st;
+    if (solve_binding(cs, candidate, ecas[0], {}, &st).has_value()) {
+      sub = candidate;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no feasible proper subset of the full allocation";
+
+  BindCache cache;
+  SolverStats st;
+  ASSERT_TRUE(cache.solve(cs, sub, ecas[0], {}, &st).has_value());
+  // The full allocation is a strict superset: the subset's witness must be
+  // revalidated and returned without a search.
+  const std::uint64_t nodes_before = st.nodes;
+  const std::optional<Binding> hit = cache.solve(cs, full, ecas[0], {}, &st);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(cache.stats().hits_feasible, 1u);
+  EXPECT_EQ(st.nodes, nodes_before);  // no search nodes spent on the hit
+  EXPECT_TRUE(binding_feasible(cs, full, ecas[0], *hit));
+}
+
+TEST(BindCacheTest, SubsetOfAnInfeasibleAllocationIsAProofHit) {
+  const CompiledSpec& cs = settop().compiled();
+  const std::vector<Eca> ecas = full_ecas(cs);
+  ASSERT_FALSE(ecas.empty());
+
+  // Find a single-unit allocation that is provably infeasible.
+  AllocSet bad = cs.make_alloc_set();
+  bool found = false;
+  for (std::size_t u = 0; u < bad.size() && !found; ++u) {
+    AllocSet candidate = cs.make_alloc_set();
+    candidate.set(u);
+    SolverStats st;
+    (void)solve_binding(cs, candidate, ecas[0], {}, &st);
+    if (st.outcome == SolveOutcome::kInfeasible) {
+      bad = candidate;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "every single-unit allocation was feasible";
+
+  BindCache cache;
+  SolverStats st;
+  EXPECT_FALSE(cache.solve(cs, bad, ecas[0], {}, &st).has_value());
+  EXPECT_EQ(st.outcome, SolveOutcome::kInfeasible);
+
+  // The empty allocation is a subset: proof transfers, no solve.
+  const std::uint64_t nodes_before = st.nodes;
+  EXPECT_FALSE(
+      cache.solve(cs, cs.make_alloc_set(), ecas[0], {}, &st).has_value());
+  EXPECT_EQ(st.outcome, SolveOutcome::kInfeasible);
+  EXPECT_EQ(cache.stats().hits_infeasible, 1u);
+  EXPECT_EQ(st.cache_hits_infeasible, 1u);
+  EXPECT_EQ(st.nodes, nodes_before);
+}
+
+TEST(BindCacheTest, InsertPrunesEntriesDominatedByTheNewOne) {
+  const CompiledSpec& cs = settop().compiled();
+  const std::vector<Eca> ecas = full_ecas(cs);
+  ASSERT_FALSE(ecas.empty());
+  const AllocSet full = full_alloc(cs);
+
+  AllocSet sub = cs.make_alloc_set();
+  bool found = false;
+  for (std::size_t u = 0; u < full.size() && !found; ++u) {
+    AllocSet candidate = full;
+    candidate.reset(u);
+    SolverStats st;
+    if (solve_binding(cs, candidate, ecas[0], {}, &st).has_value()) {
+      sub = candidate;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  BindCache cache;
+  SolverStats st;
+  // Insert the superset first, then the (dominating) subset: the frontier
+  // keeps only the minimal entry.
+  ASSERT_TRUE(cache.solve(cs, full, ecas[0], {}, &st).has_value());
+  EXPECT_EQ(cache.entries(), 1u);
+  ASSERT_TRUE(cache.solve(cs, sub, ecas[0], {}, &st).has_value());
+  EXPECT_EQ(cache.entries(), 1u);  // full-allocation entry pruned
+  // The surviving minimal entry still answers the superset query.
+  ASSERT_TRUE(cache.solve(cs, full, ecas[0], {}, &st).has_value());
+  EXPECT_EQ(cache.stats().hits_feasible, 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(BindCacheTest, AbortedSolvesAreNeverCached) {
+  const CompiledSpec& cs = settop().compiled();
+  const std::vector<Eca> ecas = full_ecas(cs);
+  ASSERT_FALSE(ecas.empty());
+  const AllocSet full = full_alloc(cs);
+  const Eca* hard = find_hard_eca(cs, ecas, full);
+  ASSERT_NE(hard, nullptr);
+
+  BindCache cache;
+  SolverStats st;
+  SolverOptions limited;
+  limited.node_limit = 1;
+  EXPECT_FALSE(cache.solve(cs, full, *hard, limited, &st).has_value());
+  EXPECT_EQ(st.outcome, SolveOutcome::kNodeLimit);
+  EXPECT_TRUE(st.aborted);
+  EXPECT_EQ(cache.entries(), 0u) << "a budget abort proves nothing";
+
+  // The unlimited retry must be a genuine solve (miss) with the real
+  // verdict — never an infeasibility "hit" fabricated from the abort.
+  ASSERT_TRUE(cache.solve(cs, full, *hard, {}, &st).has_value());
+  EXPECT_EQ(st.outcome, SolveOutcome::kFeasible);
+  EXPECT_EQ(cache.stats().hits_infeasible, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(BindCacheTest, ClearEmptiesFrontiersAndCounters) {
+  const CompiledSpec& cs = decoder().compiled();
+  const std::vector<Eca> ecas = full_ecas(cs);
+  ASSERT_FALSE(ecas.empty());
+  BindCache cache;
+  SolverStats st;
+  for (const Eca& eca : ecas)
+    (void)cache.solve(cs, full_alloc(cs), eca, {}, &st);
+  ASSERT_GE(cache.entries(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  // Still usable after clear.
+  ASSERT_TRUE(cache.solve(cs, full_alloc(cs), ecas[0], {}, &st).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Lattice monotonicity on generated specs, and cached-vs-raw agreement.
+// ---------------------------------------------------------------------------
+
+GeneratorParams small_params(std::uint64_t seed) {
+  GeneratorParams p;
+  p.seed = seed;
+  p.applications = 2;
+  p.processes_per_app_max = 3;
+  return p;
+}
+
+/// Random sub-allocations of the full unit set, always including the full
+/// and empty sets so both lattice extremes are exercised.
+std::vector<AllocSet> sample_allocs(const CompiledSpec& cs, Rng& rng,
+                                    std::size_t n) {
+  std::vector<AllocSet> out;
+  out.push_back(full_alloc(cs));
+  out.push_back(cs.make_alloc_set());
+  for (std::size_t k = 0; k < n; ++k) {
+    AllocSet a = cs.make_alloc_set();
+    for (std::size_t u = 0; u < a.size(); ++u)
+      if (rng.chance(0.6)) a.set(u);
+    out.push_back(a);
+  }
+  return out;
+}
+
+TEST(LatticeMonotonicity, FeasibilityIsMonotoneOnGeneratedSpecs) {
+  for (std::uint64_t seed : {1u, 7u, 13u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const SpecificationGraph spec = generate_spec(small_params(seed));
+    const CompiledSpec& cs = spec.compiled();
+    const std::vector<Eca> ecas = full_ecas(cs, /*limit=*/4);
+    if (ecas.empty()) continue;
+    Rng rng(seed * 77 + 1);
+    const std::vector<AllocSet> samples = sample_allocs(cs, rng, 6);
+
+    for (const Eca& eca : ecas) {
+      for (const AllocSet& a : samples) {
+        SolverStats st;
+        (void)solve_binding(cs, a, eca, {}, &st);
+        if (st.outcome == SolveOutcome::kFeasible) {
+          // Adding any unit must preserve feasibility.
+          for (std::size_t u = 0; u < a.size(); ++u) {
+            if (a.test(u)) continue;
+            AllocSet up = a;
+            up.set(u);
+            SolverStats st2;
+            EXPECT_TRUE(solve_binding(cs, up, eca, {}, &st2).has_value())
+                << "feasible(A) but infeasible(A ∪ {" << u << "})";
+          }
+        } else {
+          ASSERT_EQ(st.outcome, SolveOutcome::kInfeasible);
+          // Removing any unit must preserve infeasibility.
+          for (std::size_t u = 0; u < a.size(); ++u) {
+            if (!a.test(u)) continue;
+            AllocSet down = a;
+            down.reset(u);
+            SolverStats st2;
+            EXPECT_FALSE(solve_binding(cs, down, eca, {}, &st2).has_value())
+                << "infeasible(A) but feasible(A \\ {" << u << "})";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(LatticeMonotonicity, CachedVerdictsMatchTheRawSolverOnARandomStream) {
+  for (std::uint64_t seed : {3u, 11u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const SpecificationGraph spec = generate_spec(small_params(seed));
+    const CompiledSpec& cs = spec.compiled();
+    const std::vector<Eca> ecas = full_ecas(cs, /*limit=*/4);
+    if (ecas.empty()) continue;
+    Rng rng(seed * 31 + 5);
+
+    BindCache cache;
+    std::uint64_t queries = 0;
+    for (int round = 0; round < 2; ++round) {  // round 2 replays → hits
+      for (const Eca& eca : ecas) {
+        for (const AllocSet& a : sample_allocs(cs, rng, 8)) {
+          SolverStats raw_stats;
+          const bool raw =
+              solve_binding(cs, a, eca, {}, &raw_stats).has_value();
+          SolverStats cached_stats;
+          const std::optional<Binding> got =
+              cache.solve(cs, a, eca, {}, &cached_stats);
+          ++queries;
+          EXPECT_EQ(got.has_value(), raw) << "cache verdict diverged";
+          EXPECT_EQ(cached_stats.outcome, raw_stats.outcome);
+          if (got.has_value()) {
+            EXPECT_TRUE(binding_feasible(cs, a, eca, *got))
+                << "cached witness fails full revalidation";
+          }
+        }
+      }
+    }
+    const BindCacheStats cstats = cache.stats();
+    EXPECT_EQ(cstats.misses + cstats.hits_feasible + cstats.hits_infeasible,
+              queries);
+    EXPECT_GT(cstats.hits_feasible + cstats.hits_infeasible, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: explore with the cache on and off must produce bit-identical
+// fronts and pruning-relevant stats; the cache only saves solver nodes.
+// ---------------------------------------------------------------------------
+
+void expect_pruning_stats_equal(const ExploreStats& on,
+                                const ExploreStats& off) {
+  EXPECT_EQ(on.candidates_generated, off.candidates_generated);
+  EXPECT_EQ(on.dominated_skipped, off.dominated_skipped);
+  EXPECT_EQ(on.possible_allocations, off.possible_allocations);
+  EXPECT_EQ(on.flexibility_estimations, off.flexibility_estimations);
+  EXPECT_EQ(on.bound_skipped, off.bound_skipped);
+  EXPECT_EQ(on.implementation_attempts, off.implementation_attempts);
+  EXPECT_EQ(on.solver_calls, off.solver_calls);
+  EXPECT_EQ(on.branches_pruned, off.branches_pruned);
+}
+
+TEST(BindCacheExplore, SettopFrontAndPruningStatsMatchCacheOff) {
+  ExploreOptions with_cache;
+  ExploreOptions without_cache;
+  without_cache.implementation.use_bind_cache = false;
+
+  const ExploreResult on = explore(settop(), with_cache);
+  const ExploreResult off = explore(settop(), without_cache);
+  ASSERT_TRUE(on.status.ok());
+  ASSERT_TRUE(off.status.ok());
+
+  expect_fronts_equal(on, off);
+  expect_pruning_stats_equal(on.stats, off.stats);
+  EXPECT_EQ(on.stats.solver_calls, 148u);  // pinned seed value
+
+  EXPECT_GT(on.stats.cache_hits_feasible + on.stats.cache_hits_infeasible, 0u);
+  EXPECT_GT(on.stats.cache_entries, 0u);
+  EXPECT_LT(on.stats.solver_nodes, off.stats.solver_nodes);
+  EXPECT_EQ(off.stats.cache_hits_feasible, 0u);
+  EXPECT_EQ(off.stats.cache_hits_infeasible, 0u);
+  EXPECT_EQ(off.stats.cache_revalidations, 0u);
+  EXPECT_EQ(off.stats.cache_entries, 0u);
+}
+
+TEST(BindCacheExplore, DecoderFrontAndPruningStatsMatchCacheOff) {
+  ExploreOptions with_cache;
+  with_cache.stop_at_max_flexibility = false;
+  ExploreOptions without_cache = with_cache;
+  without_cache.implementation.use_bind_cache = false;
+
+  const ExploreResult on = explore(decoder(), with_cache);
+  const ExploreResult off = explore(decoder(), without_cache);
+  ASSERT_TRUE(on.status.ok());
+  ASSERT_TRUE(off.status.ok());
+
+  expect_fronts_equal(on, off);
+  expect_pruning_stats_equal(on.stats, off.stats);
+  EXPECT_LE(on.stats.solver_nodes, off.stats.solver_nodes);
+}
+
+TEST(BindCacheExplore, ParallelSharedCacheFrontMatchesSequential) {
+  ExploreOptions options;
+  options.num_threads = 4;
+  ExploreOptions no_cache = options;
+  no_cache.implementation.use_bind_cache = false;
+
+  const ExploreResult par_on = parallel_explore(settop(), options);
+  const ExploreResult par_off = parallel_explore(settop(), no_cache);
+  const ExploreResult seq = explore(settop(), ExploreOptions{});
+  ASSERT_TRUE(par_on.status.ok());
+  ASSERT_TRUE(par_off.status.ok());
+  ASSERT_TRUE(seq.status.ok());
+
+  expect_fronts_equal(par_on, par_off);
+  expect_fronts_equal(par_on, seq);
+  // No counter assertions between the two parallel runs: the in-band
+  // flexibility bound reads sibling results as they land, so parallel work
+  // counters are schedule-dependent (see docs/ROBUSTNESS.md) — only the
+  // front is deterministic.
+  EXPECT_GT(par_on.stats.cache_hits_feasible +
+                par_on.stats.cache_hits_infeasible,
+            0u);
+  EXPECT_EQ(par_off.stats.cache_hits_feasible, 0u);
+  EXPECT_EQ(par_off.stats.cache_hits_infeasible, 0u);
+}
+
+TEST(BindCacheExplore, GeneratedSpecFrontMatchesCacheOff) {
+  const SpecificationGraph spec = generate_spec(small_params(42));
+  ExploreOptions with_cache;
+  with_cache.stop_at_max_flexibility = false;
+  ExploreOptions without_cache = with_cache;
+  without_cache.implementation.use_bind_cache = false;
+
+  const ExploreResult on = explore(spec, with_cache);
+  const ExploreResult off = explore(spec, without_cache);
+  ASSERT_TRUE(on.status.ok());
+  ASSERT_TRUE(off.status.ok());
+  expect_fronts_equal(on, off);
+  expect_pruning_stats_equal(on.stats, off.stats);
+  EXPECT_LE(on.stats.solver_nodes, off.stats.solver_nodes);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: a throw mid-insert must leave the cache sound (at worst
+// with a redundant frontier entry) and a parallel run resumable.
+// ---------------------------------------------------------------------------
+
+#ifdef SDF_FAULT_INJECTION
+
+struct DisarmGuard {
+  DisarmGuard() { FaultInjector::disarm_all(); }
+  ~DisarmGuard() { FaultInjector::disarm_all(); }
+};
+
+TEST(BindCacheFaults, InsertFaultPropagatesAndLeavesTheCacheUsable) {
+  DisarmGuard guard;
+  const CompiledSpec& cs = settop().compiled();
+  const std::vector<Eca> ecas = full_ecas(cs);
+  ASSERT_FALSE(ecas.empty());
+  const AllocSet full = full_alloc(cs);
+
+  BindCache cache;
+  SolverStats st;
+  FaultInjector::arm("bind_cache.insert", FaultKind::kThrow, 1);
+  EXPECT_THROW((void)cache.solve(cs, full, ecas[0], {}, &st),
+               FaultInjectedError);
+  FaultInjector::disarm_all();
+
+  // The fault fired before any mutation: nothing was stored.
+  EXPECT_EQ(cache.entries(), 0u);
+  // The cache is still fully usable and agrees with the raw solver.
+  const std::optional<Binding> got = cache.solve(cs, full, ecas[0], {}, &st);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(binding_feasible(cs, full, ecas[0], *got));
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(BindCacheFaults, MergeFaultLeavesASoundIfRedundantFrontier) {
+  DisarmGuard guard;
+  const CompiledSpec& cs = settop().compiled();
+  const std::vector<Eca> ecas = full_ecas(cs);
+  ASSERT_FALSE(ecas.empty());
+  const AllocSet full = full_alloc(cs);
+
+  BindCache cache;
+  SolverStats st;
+  // The merge fault fires after the new entry is stored but before the
+  // dominated-entry prune: the exception escapes, yet the stored fact is
+  // proven and lookups stay sound.
+  FaultInjector::arm("bind_cache.merge", FaultKind::kThrow, 1);
+  EXPECT_THROW((void)cache.solve(cs, full, ecas[0], {}, &st),
+               FaultInjectedError);
+  FaultInjector::disarm_all();
+  EXPECT_EQ(cache.entries(), 1u);  // pushed before the fault point
+
+  // The interrupted insert must still answer correctly...
+  const std::optional<Binding> hit = cache.solve(cs, full, ecas[0], {}, &st);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(binding_feasible(cs, full, ecas[0], *hit));
+  EXPECT_EQ(cache.stats().hits_feasible, 1u);
+
+  // ...and later inserts (with their prune) restore minimality.
+  for (std::size_t u = 0; u < full.size(); ++u) {
+    AllocSet sub = full;
+    sub.reset(u);
+    SolverStats st2;
+    if (cache.solve(cs, sub, ecas[0], {}, &st2).has_value()) break;
+  }
+  EXPECT_GE(cache.entries(), 1u);
+  const std::optional<Binding> again = cache.solve(cs, full, ecas[0], {}, &st);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(binding_feasible(cs, full, ecas[0], *again));
+}
+
+TEST(BindCacheFaults, CacheFaultInAParallelRunIsResumable) {
+  DisarmGuard guard;
+  const SpecificationGraph spec = models::make_settop_spec();
+  ExploreOptions options;
+  options.num_threads = 2;
+
+  FaultInjector::arm("bind_cache.insert", FaultKind::kThrow, 5);
+  const ExploreResult broken = parallel_explore(spec, options);
+  FaultInjector::disarm_all();
+
+  ASSERT_FALSE(broken.status.ok());
+  EXPECT_EQ(broken.stats.stop_reason, StopReason::kWorkerError);
+  ASSERT_TRUE(broken.checkpoint.has_value());
+
+  // The cache is derived data: the resumed run starts with a cold cache
+  // and must still reproduce the uninterrupted front bit-identically.
+  ExploreOptions resumed_options = options;
+  resumed_options.resume = &*broken.checkpoint;
+  const ExploreResult finished = parallel_explore(spec, resumed_options);
+  ASSERT_TRUE(finished.status.ok()) << finished.status.error().message;
+  EXPECT_EQ(finished.stats.stop_reason, StopReason::kCompleted);
+
+  const ExploreResult uninterrupted = parallel_explore(spec, options);
+  expect_fronts_equal(finished, uninterrupted);
+}
+
+#endif  // SDF_FAULT_INJECTION
+
+}  // namespace
+}  // namespace sdf

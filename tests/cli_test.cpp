@@ -1,6 +1,8 @@
 // Tests for the flag parser and the `sdf` command-line tool.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -74,6 +76,15 @@ TEST(Flags, NumericAccessors) {
 
 // ---- CLI ---------------------------------------------------------------------
 
+/// Per-process temp path: ctest runs each gtest case as its own process, in
+/// parallel, so a fixed shared name races (one process truncates the file
+/// while another reads it).
+std::string tmp_path(const std::string& name) {
+  static const std::string prefix =
+      "/tmp/sdf_cli_test_" + std::to_string(::getpid()) + "_";
+  return prefix + name;
+}
+
 class CliTest : public ::testing::Test {
  protected:
   int run(std::initializer_list<std::string> args) {
@@ -85,7 +96,7 @@ class CliTest : public ::testing::Test {
   /// Writes the settop model to a temp file once per suite.
   static const std::string& settop_path() {
     static const std::string path = [] {
-      const std::string p = "/tmp/sdf_cli_test_settop.json";
+      const std::string p = tmp_path("settop.json");
       std::ofstream f(p);
       f << spec_to_string(models::make_settop_spec()).value();
       return p;
@@ -112,7 +123,7 @@ TEST_F(CliTest, ValidateAcceptsSettop) {
 }
 
 TEST_F(CliTest, ValidateRejectsGarbage) {
-  const std::string path = "/tmp/sdf_cli_test_garbage.json";
+  const std::string path = tmp_path("garbage.json");
   std::ofstream(path) << "{ not json";
   EXPECT_EQ(run({"validate", path}), 2);
   EXPECT_EQ(run({"validate", "/tmp/definitely_missing_file.json"}), 2);
@@ -121,7 +132,7 @@ TEST_F(CliTest, ValidateRejectsGarbage) {
 
 TEST_F(CliTest, ValidateReportsLintFindingsWithExitCode) {
   // A structurally loadable spec with an unmapped process: error severity.
-  const std::string path = "/tmp/sdf_cli_test_unmapped.json";
+  const std::string path = tmp_path("unmapped.json");
   std::ofstream(path) << R"({
     "name": "unmapped",
     "problem": {"root": {"nodes": [{"name": "A"}, {"name": "B"}]}},
@@ -146,7 +157,7 @@ TEST_F(CliTest, LintCleanModelExitsZero) {
 }
 
 TEST_F(CliTest, LintReportsTextAndJson) {
-  const std::string path = "/tmp/sdf_cli_test_lint.json";
+  const std::string path = tmp_path("lint.json");
   std::ofstream(path) << R"({
     "name": "broken",
     "problem": {"root": {"nodes": [{"name": "A"}, {"name": "B"}]}},
@@ -188,7 +199,7 @@ TEST_F(CliTest, LintListsCatalog) {
 }
 
 TEST_F(CliTest, ExplorePreflightRejectsDefectiveSpec) {
-  const std::string path = "/tmp/sdf_cli_test_preflight.json";
+  const std::string path = tmp_path("preflight.json");
   std::ofstream(path) << R"({
     "name": "defective",
     "problem": {"root": {"nodes": [{"name": "A"}, {"name": "B"}]}},
@@ -274,7 +285,7 @@ TEST_F(CliTest, ExploreRejectsBadFlags) {
 }
 
 TEST_F(CliTest, ExploreBudgetExhaustionExitsThreeAndWritesCheckpoint) {
-  const std::string ck = "/tmp/sdf_cli_test_ck_basic.json";
+  const std::string ck = tmp_path("ck_basic.json");
   std::remove(ck.c_str());
   EXPECT_EQ(run({"explore", settop_path(), "--max-allocations=4",
                  "--checkpoint=" + ck}),
@@ -295,7 +306,7 @@ TEST_F(CliTest, ExploreBudgetExhaustionExitsThreeAndWritesCheckpoint) {
 }
 
 TEST_F(CliTest, ExploreResumeChainReproducesUninterruptedFront) {
-  const std::string ck = "/tmp/sdf_cli_test_ck_chain.json";
+  const std::string ck = tmp_path("ck_chain.json");
   std::remove(ck.c_str());
   ASSERT_EQ(run({"explore", settop_path(), "--no-stats"}), 0);
   const std::string uninterrupted = out_.str();
@@ -310,7 +321,7 @@ TEST_F(CliTest, ExploreResumeChainReproducesUninterruptedFront) {
 }
 
 TEST_F(CliTest, ExploreAnytimeJsonCarriesCertificate) {
-  const std::string ck = "/tmp/sdf_cli_test_ck_json.json";
+  const std::string ck = tmp_path("ck_json.json");
   std::remove(ck.c_str());
   EXPECT_EQ(run({"explore", settop_path(), "--json", "--max-allocations=4",
                  "--checkpoint=" + ck}),
@@ -328,7 +339,7 @@ TEST_F(CliTest, ExploreResumeRejectsMissingOrCorruptCheckpoint) {
                  "--checkpoint=/tmp/sdf_cli_test_ck_missing.json",
                  "--resume"}),
             1);
-  const std::string ck = "/tmp/sdf_cli_test_ck_corrupt.json";
+  const std::string ck = tmp_path("ck_corrupt.json");
   {
     std::ofstream f(ck);
     f << "{\"format\": \"wrong\"}";
@@ -413,7 +424,7 @@ TEST_F(CliTest, DemoModelsRoundTrip) {
 TEST_F(CliTest, PipelineGenerateExplore) {
   // generate | explore: the synthetic spec explores without error.
   EXPECT_EQ(run({"generate", "--seed=4"}), 0);
-  const std::string path = "/tmp/sdf_cli_test_gen.json";
+  const std::string path = tmp_path("gen.json");
   std::ofstream(path) << out_.str();
   EXPECT_EQ(run({"explore", path}), 0);
   EXPECT_NE(out_.str().find("cost"), std::string::npos);
