@@ -198,6 +198,10 @@ void print_parallel_sweep() {
           {"merge_seconds", Json(result.stats.merge_seconds)},
           {"bands", Json(static_cast<double>(result.stats.bands))},
           {"peak_band_size", Json(result.stats.peak_band_size)},
+          {"bands_grown", Json(static_cast<double>(result.stats.bands_grown))},
+          {"bands_shrunk",
+           Json(static_cast<double>(result.stats.bands_shrunk))},
+          {"band_capacity_last", Json(result.stats.band_capacity_last)},
           {"implementation_attempts",
            Json(static_cast<double>(result.stats.implementation_attempts))},
           {"front_size", Json(result.front.size())},

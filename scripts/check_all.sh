@@ -27,6 +27,18 @@ done
 
 scripts/check_tidy.sh
 
+echo "==================== kernel perf smoke ===================="
+# Count-based, not wall-clock: asserts every bitset kernel agrees with a
+# per-bit reference on word-boundary sizes AND touches fewer words than the
+# per-bit model (ceil(bits/64) < bits).  Deterministic, so it cannot flake
+# on a loaded CI box the way a timing threshold would.
+KERNEL_BENCH=build/bench/bench_kernels
+if [ ! -x "$KERNEL_BENCH" ]; then
+  echo "check_all: $KERNEL_BENCH missing after check.sh" >&2
+  exit 1
+fi
+"$KERNEL_BENCH" --smoke
+
 echo "==================== sdf lint examples/specs ===================="
 SDF=build/tools/sdf
 if [ ! -x "$SDF" ]; then

@@ -1,7 +1,6 @@
 #include "bind/bind_cache.hpp"
 
 #include <cstddef>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
@@ -52,17 +51,28 @@ struct FeasibleEntry {
 };
 
 /// Per-ECA frontier: antichains of minimal feasible and maximal infeasible
-/// allocations.
+/// allocations.  Immutable once referenced by a published snapshot.
 struct Frontier {
   std::vector<FeasibleEntry> minimal_feasible;
   std::vector<DynBitset> maximal_infeasible;
+
+  [[nodiscard]] std::size_t entry_count() const {
+    return minimal_feasible.size() + maximal_infeasible.size();
+  }
 };
+
+/// One shard's published state: an immutable key → frontier map.  Copying a
+/// snapshot copies shared_ptrs, not frontiers — a publish deep-copies only
+/// the one frontier it extends.
+using Snapshot =
+    std::unordered_map<EcaKey, std::shared_ptr<const Frontier>, EcaKeyHash>;
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
 
 }  // namespace
 
 struct BindCache::Shard {
-  std::mutex mutex;
-  std::unordered_map<EcaKey, Frontier, EcaKeyHash> map;
+  /// Never null; readers acquire-load and scan without any lock.
+  std::atomic<SnapshotPtr> snapshot{std::make_shared<const Snapshot>()};
 };
 
 BindCache::BindCache(std::size_t shard_count) {
@@ -89,32 +99,36 @@ std::optional<Binding> BindCache::solve(const CompiledSpec& cs,
   EcaKey key = make_key(eca);
   Shard& shard = shard_for(key);
 
-  // Probe under the shard lock; copy any witness out and revalidate
-  // outside it so the lock is never held across real work.
-  std::optional<Binding> witness;
-  bool infeasible_hit = false;
-  {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.map.find(key);
-    if (it != shard.map.end()) {
-      for (const FeasibleEntry& entry : it->second.minimal_feasible) {
-        if (entry.alloc.is_subset_of(alloc)) {
-          witness = entry.witness;
-          break;
-        }
+  // Epoch-snapshot probe: one acquire load pins an immutable snapshot; the
+  // frontier scan and the witness revalidation both run directly against
+  // it — no lock, no copy.  The snapshot outlives the probe because we hold
+  // its shared_ptr; concurrent publishes simply supersede it.
+  const SnapshotPtr snap = shard.snapshot.load(std::memory_order_acquire);
+  snapshot_reads_.fetch_add(1, std::memory_order_relaxed);
+  const Binding* witness = nullptr;
+  if (const auto it = snap->find(key); it != snap->end()) {
+    const Frontier& frontier = *it->second;
+    for (const FeasibleEntry& entry : frontier.minimal_feasible) {
+      if (entry.alloc.is_subset_of(alloc)) {
+        witness = &entry.witness;
+        break;
       }
-      if (!witness.has_value()) {
-        for (const DynBitset& m : it->second.maximal_infeasible) {
-          if (alloc.is_subset_of(m)) {
-            infeasible_hit = true;
-            break;
-          }
+    }
+    if (witness == nullptr) {
+      for (const DynBitset& m : frontier.maximal_infeasible) {
+        if (alloc.is_subset_of(m)) {
+          s.aborted = false;
+          s.outcome = SolveOutcome::kInfeasible;
+          ++s.cache_hits_infeasible;
+          hits_infeasible_.fetch_add(1, std::memory_order_relaxed);
+          s.cache_entries = entries();
+          return std::nullopt;
         }
       }
     }
   }
 
-  if (witness.has_value()) {
+  if (witness != nullptr) {
     ++s.cache_revalidations;
     revalidations_.fetch_add(1, std::memory_order_relaxed);
     if (binding_feasible(cs, alloc, eca, *witness, options)) {
@@ -123,18 +137,11 @@ std::optional<Binding> BindCache::solve(const CompiledSpec& cs,
       ++s.cache_hits_feasible;
       hits_feasible_.fetch_add(1, std::memory_order_relaxed);
       s.cache_entries = entries();
-      return witness;
+      return *witness;  // the only copy: into the caller's return value
     }
     // Monotonicity guarantees revalidation cannot fail; stay sound anyway
     // by falling through to a real solve.
-    witness.reset();
-  } else if (infeasible_hit) {
-    s.aborted = false;
-    s.outcome = SolveOutcome::kInfeasible;
-    ++s.cache_hits_infeasible;
-    hits_infeasible_.fetch_add(1, std::memory_order_relaxed);
-    s.cache_entries = entries();
-    return std::nullopt;
+    witness = nullptr;
   }
 
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -150,59 +157,105 @@ std::optional<Binding> BindCache::solve(const CompiledSpec& cs,
   return solved;
 }
 
+namespace {
+
+/// Returns the extended feasible frontier, or nullptr when the new fact is
+/// already implied (a stored subset of `alloc` exists).  Pure build-aside:
+/// touches nothing shared.
+std::shared_ptr<const Frontier> extend_feasible(const Frontier* old,
+                                                const AllocSet& alloc,
+                                                const Binding& witness) {
+  if (old != nullptr)
+    for (const FeasibleEntry& entry : old->minimal_feasible)
+      if (entry.alloc.is_subset_of(alloc)) return nullptr;
+  auto next = std::make_shared<Frontier>();
+  if (old != nullptr) {
+    next->maximal_infeasible = old->maximal_infeasible;
+    next->minimal_feasible.reserve(old->minimal_feasible.size() + 1);
+    // Keep only entries not dominated by the new one (strict supersets are
+    // no longer minimal).
+    for (const FeasibleEntry& entry : old->minimal_feasible)
+      if (!alloc.is_subset_of(entry.alloc))
+        next->minimal_feasible.push_back(entry);
+  }
+  next->minimal_feasible.push_back(FeasibleEntry{alloc, witness});
+  return next;
+}
+
+/// Infeasible-side counterpart of `extend_feasible`.
+std::shared_ptr<const Frontier> extend_infeasible(const Frontier* old,
+                                                  const AllocSet& alloc) {
+  if (old != nullptr)
+    for (const DynBitset& m : old->maximal_infeasible)
+      if (alloc.is_subset_of(m)) return nullptr;
+  auto next = std::make_shared<Frontier>();
+  if (old != nullptr) {
+    next->minimal_feasible = old->minimal_feasible;
+    next->maximal_infeasible.reserve(old->maximal_infeasible.size() + 1);
+    for (const DynBitset& m : old->maximal_infeasible)
+      if (!m.is_subset_of(alloc)) next->maximal_infeasible.push_back(m);
+  }
+  next->maximal_infeasible.push_back(alloc);
+  return next;
+}
+
+}  // namespace
+
 void BindCache::insert_feasible(Shard& shard, std::vector<std::uint32_t> key,
                                 const AllocSet& alloc,
                                 const Binding& witness) {
-  std::lock_guard<std::mutex> lock(shard.mutex);
   SDF_FAULT_POINT("bind_cache.insert");
-  std::vector<FeasibleEntry>& frontier =
-      shard.map[std::move(key)].minimal_feasible;
-  // Insert-if-absent merge: a concurrent worker may have proven a subset
-  // already, making this verdict redundant.
-  for (const FeasibleEntry& entry : frontier)
-    if (entry.alloc.is_subset_of(alloc)) return;
-  frontier.push_back(FeasibleEntry{alloc, witness});
-  entries_.fetch_add(1, std::memory_order_relaxed);
-  SDF_FAULT_POINT("bind_cache.merge");
-  // Prune entries dominated by the new one (strict supersets — they are no
-  // longer minimal).  A fault between the push and here only skips this
-  // pruning: the dominated entries are still true, so lookups stay sound.
-  const std::size_t last = frontier.size() - 1;
-  std::size_t w = 0;
-  for (std::size_t r = 0; r < last; ++r) {
-    if (alloc.is_subset_of(frontier[r].alloc)) continue;
-    if (w != r) frontier[w] = std::move(frontier[r]);
-    ++w;
-  }
-  if (w != last) {
-    frontier[w] = std::move(frontier[last]);
-    frontier.resize(w + 1);
-    entries_.fetch_sub(last - w, std::memory_order_relaxed);
+  SnapshotPtr cur = shard.snapshot.load(std::memory_order_acquire);
+  for (;;) {
+    const auto it = cur->find(key);
+    const Frontier* old = it != cur->end() ? it->second.get() : nullptr;
+    // Redundancy check against the *latest* snapshot: a concurrent worker
+    // may have proven a subset already.
+    std::shared_ptr<const Frontier> next_frontier =
+        extend_feasible(old, alloc, witness);
+    if (next_frontier == nullptr) return;
+    const std::size_t old_count = old != nullptr ? old->entry_count() : 0;
+    const std::size_t new_count = next_frontier->entry_count();
+    auto next = std::make_shared<Snapshot>(*cur);
+    (*next)[key] = std::move(next_frontier);
+    SDF_FAULT_POINT("bind_cache.merge");
+    // Publish-with-CAS: on failure `cur` is reloaded with the winner's
+    // snapshot and the extension is rebuilt against it, so no concurrent
+    // fact is ever overwritten.
+    if (shard.snapshot.compare_exchange_strong(cur, std::move(next),
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+      entries_.fetch_add(new_count - old_count, std::memory_order_relaxed);
+      publishes_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    publish_retries_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void BindCache::insert_infeasible(Shard& shard, std::vector<std::uint32_t> key,
                                   const AllocSet& alloc) {
-  std::lock_guard<std::mutex> lock(shard.mutex);
   SDF_FAULT_POINT("bind_cache.insert");
-  std::vector<DynBitset>& frontier =
-      shard.map[std::move(key)].maximal_infeasible;
-  for (const DynBitset& m : frontier)
-    if (alloc.is_subset_of(m)) return;
-  frontier.push_back(alloc);
-  entries_.fetch_add(1, std::memory_order_relaxed);
-  SDF_FAULT_POINT("bind_cache.merge");
-  const std::size_t last = frontier.size() - 1;
-  std::size_t w = 0;
-  for (std::size_t r = 0; r < last; ++r) {
-    if (frontier[r].is_subset_of(alloc)) continue;  // dominated subset
-    if (w != r) frontier[w] = std::move(frontier[r]);
-    ++w;
-  }
-  if (w != last) {
-    frontier[w] = std::move(frontier[last]);
-    frontier.resize(w + 1);
-    entries_.fetch_sub(last - w, std::memory_order_relaxed);
+  SnapshotPtr cur = shard.snapshot.load(std::memory_order_acquire);
+  for (;;) {
+    const auto it = cur->find(key);
+    const Frontier* old = it != cur->end() ? it->second.get() : nullptr;
+    std::shared_ptr<const Frontier> next_frontier =
+        extend_infeasible(old, alloc);
+    if (next_frontier == nullptr) return;
+    const std::size_t old_count = old != nullptr ? old->entry_count() : 0;
+    const std::size_t new_count = next_frontier->entry_count();
+    auto next = std::make_shared<Snapshot>(*cur);
+    (*next)[key] = std::move(next_frontier);
+    SDF_FAULT_POINT("bind_cache.merge");
+    if (shard.snapshot.compare_exchange_strong(cur, std::move(next),
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+      entries_.fetch_add(new_count - old_count, std::memory_order_relaxed);
+      publishes_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    publish_retries_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -213,19 +266,24 @@ BindCacheStats BindCache::stats() const {
   out.revalidations = revalidations_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
   out.entries = entries_.load(std::memory_order_relaxed);
+  out.snapshot_reads = snapshot_reads_.load(std::memory_order_relaxed);
+  out.publishes = publishes_.load(std::memory_order_relaxed);
+  out.publish_retries = publish_retries_.load(std::memory_order_relaxed);
   return out;
 }
 
 void BindCache::clear() {
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    shard->map.clear();
-  }
+  for (const std::unique_ptr<Shard>& shard : shards_)
+    shard->snapshot.store(std::make_shared<const Snapshot>(),
+                          std::memory_order_release);
   hits_feasible_.store(0, std::memory_order_relaxed);
   hits_infeasible_.store(0, std::memory_order_relaxed);
   revalidations_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   entries_.store(0, std::memory_order_relaxed);
+  snapshot_reads_.store(0, std::memory_order_relaxed);
+  publishes_.store(0, std::memory_order_relaxed);
+  publish_retries_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace sdf

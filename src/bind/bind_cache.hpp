@@ -20,17 +20,23 @@
 //
 // Invariants, in order of importance:
 //   1. Soundness: every stored fact was proven by the solver.  This is the
-//      only invariant correctness depends on — a fault mid-insert may leave
+//      only invariant correctness depends on — a lost publish race may leave
 //      a redundant (dominated) entry behind, which costs a few extra subset
 //      tests but can never change a verdict.
 //   2. Antichain minimality: inserts prune entries dominated by the new
 //      one, keeping frontiers small.  Purely an optimization.
 //
-// Thread safety: the key space is sharded; each shard holds one mutex and
-// one hash map.  Lookups copy the witness out under the shard lock and
-// revalidate outside it; inserts are insert-if-absent merges (an entry
-// already implied by the frontier is dropped).  At most one shard lock is
-// ever held, so the cache cannot deadlock against itself.
+// Thread safety — epoch-snapshot reads, copy-on-write publishes.  The key
+// space is sharded; each shard holds one atomically published pointer to an
+// *immutable* snapshot (key → frontier map).  Readers load the pointer with
+// an acquire and scan the frontiers in place: no mutex, no witness copy,
+// no allocation on the probe path.  Writers build the updated snapshot off
+// to the side (sharing the untouched frontiers structurally) and publish it
+// with a CAS; a lost race rebuilds against the winner's snapshot and
+// retries.  A snapshot stays alive as long as any reader still holds it, so
+// a reader can never observe a frontier mid-edit.  Exception safety is
+// build-aside-or-nothing: a fault before the CAS leaves the published
+// snapshot untouched.
 //
 // The cache is derived data: it is deliberately NOT checkpointed, and a
 // resumed run starts cold and rebuilds it (see docs/ROBUSTNESS.md).
@@ -52,10 +58,17 @@ struct BindCacheStats {
   std::uint64_t revalidations = 0;
   std::uint64_t misses = 0;
   std::uint64_t entries = 0;  ///< total frontier entries across all ECAs
+  // Snapshot-protocol counters: every probe loads exactly one snapshot;
+  // every frontier extension publishes exactly one (retries count the CAS
+  // races lost and rebuilt).
+  std::uint64_t snapshot_reads = 0;
+  std::uint64_t publishes = 0;
+  std::uint64_t publish_retries = 0;
 };
 
 class BindCache {
  public:
+  /// `shard_count` is clamped to at least one shard.
   explicit BindCache(std::size_t shard_count = 16);
   ~BindCache();
 
@@ -85,7 +98,7 @@ class BindCache {
     return entries_.load(std::memory_order_relaxed);
   }
 
-  /// Empties every shard and zeroes the counters.
+  /// Publishes an empty snapshot in every shard and zeroes the counters.
   void clear();
 
  private:
@@ -103,6 +116,9 @@ class BindCache {
   std::atomic<std::uint64_t> revalidations_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> entries_{0};
+  std::atomic<std::uint64_t> snapshot_reads_{0};
+  std::atomic<std::uint64_t> publishes_{0};
+  std::atomic<std::uint64_t> publish_retries_{0};
 };
 
 }  // namespace sdf

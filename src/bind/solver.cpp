@@ -80,6 +80,11 @@ class BindingSearch {
     dom_offsets_.assign(n_ + 1, 0);
     slot_of_unit_.assign(cs_.unit_count(), kNoSlot);
     for (std::size_t i = 0; i < n_; ++i) {
+      // Word-parallel pre-check: rule 2 is unsatisfiable outright when no
+      // reachable unit of this process is allocated, so the per-edge scan
+      // below would only build an empty domain.  One bitset intersection
+      // replaces it.
+      if (!alloc_.intersects(cs_.reachable_units(processes[i]))) return false;
       for (const CompiledMapping& m : cs_.mappings_of(processes[i])) {
         if (!m.unit.valid() || !alloc_.test(m.unit.index())) continue;
         std::uint32_t& slot = slot_of_unit_[m.unit.index()];

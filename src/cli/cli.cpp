@@ -227,8 +227,13 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
   flags.define_bool("evolutionary", false, "use the heuristic EA explorer");
   flags.define("seed", "1", "EA seed");
   flags.define("threads", "1",
-               "evaluation threads (0 = one per hardware thread); any value "
+               "evaluation threads; 0 auto-detects one per hardware thread "
+               "(std::thread::hardware_concurrency, floor 1); any value "
                "other than 1 selects the parallel cost-band engine");
+  flags.define("band-target", "0",
+               "adaptive-band setpoint: surviving candidates to aim for per "
+               "cost band (0 = auto, scaled from the thread count); parallel "
+               "engine only");
   flags.define("deadline-ms", "0",
                "wall-clock budget in milliseconds (0 = unlimited)");
   flags.define("max-solver-nodes", "0",
@@ -278,6 +283,12 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
     return 2;
   }
   options.num_threads = static_cast<std::size_t>(threads);
+  const int band_target = flags.get_int("band-target");
+  if (band_target < 0) {
+    err << "--band-target must be >= 0\n";
+    return 2;
+  }
+  options.band_target = static_cast<std::size_t>(band_target);
 
   const long deadline_ms = flags.get_int("deadline-ms");
   const long max_nodes = flags.get_int("max-solver-nodes");
@@ -428,6 +439,10 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
         << " cache_hits_infeasible=" << stats.cache_hits_infeasible
         << " cache_revalidations=" << stats.cache_revalidations
         << " cache_entries=" << stats.cache_entries;
+    if (stats.threads != 0) {
+      out << " threads=" << stats.threads << " bands=" << stats.bands
+          << " band_capacity_last=" << stats.band_capacity_last;
+    }
     if (stats.stop_reason != StopReason::kCompleted) {
       out << " stop_reason=" << stop_reason_name(stats.stop_reason)
           << " budget_abandoned=" << stats.budget_abandoned

@@ -65,9 +65,17 @@ struct ExploreOptions {
   std::size_t num_threads = 0;
   /// Band capacity for `parallel_explore`: how many candidates are drained
   /// from the stream and evaluated concurrently between two deterministic
-  /// merges (0 = auto, scaled from `num_threads`).  Larger bands expose more
-  /// parallelism but evaluate against a staler incumbent.
+  /// merges.  Larger bands expose more parallelism but evaluate against a
+  /// staler incumbent.  0 = adaptive: the capacity starts scaled from
+  /// `num_threads` and is grown/shrunk per band by the measured number of
+  /// candidates that survive the cheap filters (see `band_target`); any
+  /// non-zero value pins the capacity and disables adaptation.  The merged
+  /// front is band-size invariant, so adaptation never changes results.
   std::size_t band_capacity = 0;
+  /// Adaptive-band setpoint: surviving (implementation-attempted)
+  /// candidates to aim for per band.  Only read when `band_capacity == 0`;
+  /// 0 = auto (scaled from the thread count).  CLI: `--band-target`.
+  std::size_t band_target = 0;
   /// Anytime limits; the default budget never interrupts anything.
   RunBudget budget;
   /// Resume from a prior interrupted run's checkpoint.  Not owned; must
@@ -126,6 +134,12 @@ struct ExploreStats {
   std::size_t threads = 0;             ///< evaluation threads actually used
   std::uint64_t bands = 0;             ///< cost bands drained and merged
   std::size_t peak_band_size = 0;      ///< largest band (candidates)
+  /// Adaptive-band controller activity (zero when `band_capacity` pinned
+  /// the size): capacity doublings, halvings, and the capacity in effect
+  /// for the last band assembled.
+  std::uint64_t bands_grown = 0;
+  std::uint64_t bands_shrunk = 0;
+  std::size_t band_capacity_last = 0;
   /// Per-phase wall-time breakdown of `parallel_explore`.
   double enumerate_seconds = 0.0;      ///< stream drain + branch bound
   double evaluate_seconds = 0.0;       ///< concurrent candidate evaluation

@@ -158,9 +158,23 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
   const std::size_t threads = options.num_threads != 0
                                   ? options.num_threads
                                   : ThreadPool::hardware_threads();
-  const std::size_t capacity =
-      options.band_capacity != 0 ? options.band_capacity
-                                 : std::max<std::size_t>(threads * 8, 16);
+  // Band sizing.  A fixed `band_capacity` pins the size; otherwise the
+  // adaptive controller below steers the number of candidates that survive
+  // the cheap filters (= implementation attempts) per band towards
+  // `band_target`: mostly-filtered bands double the capacity so the merge
+  // barrier stops dominating, attempt-heavy bands halve it so workers
+  // evaluate against a fresher incumbent.  The merged front is band-size
+  // invariant (the merge replays exact stream order), so adaptation can
+  // only shift wall time, never results.
+  const bool adaptive_bands = options.band_capacity == 0;
+  const std::size_t base_capacity = std::max<std::size_t>(threads * 8, 16);
+  const std::size_t min_capacity = std::max<std::size_t>(threads, 4);
+  const std::size_t max_capacity = std::max<std::size_t>(base_capacity, 4096);
+  std::size_t capacity =
+      adaptive_bands ? base_capacity : options.band_capacity;
+  const std::size_t band_target =
+      options.band_target != 0 ? options.band_target
+                               : std::max<std::size_t>(threads * 2, 8);
 
   ExploreResult result;
   // Build (or revalidate) the compiled query index on the merge thread
@@ -179,8 +193,8 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
   // thread charges allocations during band assembly.
   ImplementationOptions eval_impl = options.implementation;
   eval_impl.solver.budget = &tracker;
-  // One binding cache shared by all band workers (sharded mutexes,
-  // insert-if-absent merge).  It only skips work whose outcome is already
+  // One binding cache shared by all band workers (epoch-snapshot reads,
+  // copy-on-write publishes).  It only skips work whose outcome is already
   // proven, so the merged front stays bit-identical to the sequential
   // engine's whatever the thread schedule.
   BindCache bind_cache;
@@ -405,6 +419,20 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
     }
     result.stats.merge_seconds += seconds_since(tm);
 
+    // ---- adapt: steer the next band's capacity by this band's yield ------
+    if (adaptive_bands && eval_status.ok() && cutoff == band.size()) {
+      std::uint64_t attempted = 0;
+      for (const BandCandidate& cand : band)
+        attempted += cand.implementation_attempts;
+      if (attempted * 2 < band_target && capacity < max_capacity) {
+        capacity = std::min(capacity * 2, max_capacity);
+        ++result.stats.bands_grown;
+      } else if (attempted > 2 * band_target && capacity > min_capacity) {
+        capacity = std::max(capacity / 2, min_capacity);
+        ++result.stats.bands_shrunk;
+      }
+    }
+
     if (cutoff < band.size() && !done) {
       // Roll back the suffix's generation charges and queue it (in stream
       // order, ahead of the charge-refused candidate if any).
@@ -428,6 +456,7 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
                        f_cur < result.max_flexibility - 1e-9);
   result.stats.branches_pruned = stream.pruned();
   result.stats.frontier_remaining = stream.frontier_size();
+  result.stats.band_capacity_last = capacity;
 
   if (interrupted) {
     // Leftover resume candidates follow the band/carry entries in stream

@@ -93,6 +93,12 @@ Json explore_result_to_json(const SpecificationGraph& spec,
     stats.emplace_back("bands",
                        Json(static_cast<double>(result.stats.bands)));
     stats.emplace_back("peak_band_size", Json(result.stats.peak_band_size));
+    stats.emplace_back("bands_grown",
+                       Json(static_cast<double>(result.stats.bands_grown)));
+    stats.emplace_back("bands_shrunk",
+                       Json(static_cast<double>(result.stats.bands_shrunk)));
+    stats.emplace_back("band_capacity_last",
+                       Json(result.stats.band_capacity_last));
     stats.emplace_back("enumerate_seconds",
                        Json(result.stats.enumerate_seconds));
     stats.emplace_back("evaluate_seconds", Json(result.stats.evaluate_seconds));

@@ -1,119 +1,13 @@
+// Cold paths of DynBitset; the hot set algebra is inline in the header on
+// top of util/bitset_kernels.hpp.
 #include "util/dyn_bitset.hpp"
 
-#include <bit>
-#include <cassert>
-
-#include "util/status.hpp"
-
 namespace sdf {
-namespace {
-constexpr std::size_t kBits = 64;
-
-std::size_t words_for(std::size_t size) { return (size + kBits - 1) / kBits; }
-}  // namespace
-
-DynBitset::DynBitset(std::size_t size)
-    : words_(words_for(size), 0), size_(size) {}
-
-std::size_t DynBitset::count() const {
-  std::size_t n = 0;
-  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
-  return n;
-}
-
-bool DynBitset::none() const {
-  for (std::uint64_t w : words_)
-    if (w != 0) return false;
-  return true;
-}
-
-bool DynBitset::test(std::size_t pos) const {
-  assert(pos < size_);
-  return (words_[pos / kBits] >> (pos % kBits)) & 1u;
-}
-
-void DynBitset::set(std::size_t pos, bool value) {
-  assert(pos < size_);
-  const std::uint64_t mask = std::uint64_t{1} << (pos % kBits);
-  if (value) {
-    words_[pos / kBits] |= mask;
-  } else {
-    words_[pos / kBits] &= ~mask;
-  }
-}
-
-void DynBitset::clear() {
-  for (auto& w : words_) w = 0;
-}
 
 void DynBitset::resize(std::size_t size) {
   SDF_CHECK(size >= size_, "DynBitset::resize cannot shrink");
   words_.resize(words_for(size), 0);
   size_ = size;
-}
-
-void DynBitset::check_compatible(const DynBitset& other) const {
-  SDF_CHECK(size_ == other.size_, "DynBitset size mismatch");
-}
-
-DynBitset& DynBitset::operator|=(const DynBitset& other) {
-  check_compatible(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
-  return *this;
-}
-
-DynBitset& DynBitset::operator&=(const DynBitset& other) {
-  check_compatible(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
-  return *this;
-}
-
-DynBitset& DynBitset::operator-=(const DynBitset& other) {
-  check_compatible(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
-  return *this;
-}
-
-bool DynBitset::operator==(const DynBitset& other) const {
-  return size_ == other.size_ && words_ == other.words_;
-}
-
-bool DynBitset::is_subset_of(const DynBitset& other) const {
-  check_compatible(other);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    if (words_[i] & ~other.words_[i]) return false;
-  return true;
-}
-
-bool DynBitset::intersects(const DynBitset& other) const {
-  check_compatible(other);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    if (words_[i] & other.words_[i]) return true;
-  return false;
-}
-
-bool DynBitset::intersects(const DynBitset& a, const DynBitset& b,
-                           const DynBitset& c) {
-  a.check_compatible(b);
-  a.check_compatible(c);
-  for (std::size_t i = 0; i < a.words_.size(); ++i)
-    if (a.words_[i] & b.words_[i] & c.words_[i]) return true;
-  return false;
-}
-
-std::size_t DynBitset::find_first(std::size_t from) const {
-  if (from >= size_) return npos;
-  std::size_t wi = from / kBits;
-  std::uint64_t w = words_[wi] & (~std::uint64_t{0} << (from % kBits));
-  while (true) {
-    if (w != 0) {
-      const std::size_t pos = wi * kBits +
-                              static_cast<std::size_t>(std::countr_zero(w));
-      return pos < size_ ? pos : npos;
-    }
-    if (++wi >= words_.size()) return npos;
-    w = words_[wi];
-  }
 }
 
 std::vector<std::size_t> DynBitset::members() const {

@@ -5,12 +5,22 @@
 // clusters).  `DynBitset` stores such subsets in packed 64-bit words and
 // provides the set algebra the exploration algorithm needs: union,
 // intersection, subset tests, population count, and iteration over members.
+//
+// Every hot operation is defined inline here on top of the word-parallel
+// primitives in util/bitset_kernels.hpp, so a call site like the solver's
+// candidate filter or `CompiledSpec::comm_reachable` compiles down to the
+// kernel loop itself — no cross-TU call, no per-bit branch, no allocation.
+// Cold paths (resize, rendering) stay in dyn_bitset.cpp.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
+
+#include "util/bitset_kernels.hpp"
+#include "util/status.hpp"
 
 namespace sdf {
 
@@ -18,48 +28,124 @@ class DynBitset {
  public:
   DynBitset() = default;
   /// Creates a bitset over a universe of `size` elements, all unset.
-  explicit DynBitset(std::size_t size);
+  explicit DynBitset(std::size_t size)
+      : words_(words_for(size), 0), size_(size) {}
 
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 
+  /// The packed words, for kernels and benches layered on top.  Bits at or
+  /// beyond `size()` in the trailing word are always zero.
+  [[nodiscard]] std::span<const std::uint64_t> words() const { return words_; }
+
   /// Number of set bits.
-  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] std::size_t count() const {
+    return bitkernel::popcount_words(words_.data(), words_.size());
+  }
   /// True iff no bit is set.
-  [[nodiscard]] bool none() const;
+  [[nodiscard]] bool none() const {
+    return !bitkernel::any_words(words_.data(), words_.size());
+  }
   /// True iff at least one bit is set.
   [[nodiscard]] bool any() const { return !none(); }
 
-  [[nodiscard]] bool test(std::size_t pos) const;
-  void set(std::size_t pos, bool value = true);
+  [[nodiscard]] bool test(std::size_t pos) const {
+    assert(pos < size_);
+    return (words_[pos / kBits] >> (pos % kBits)) & 1u;
+  }
+  void set(std::size_t pos, bool value = true) {
+    assert(pos < size_);
+    const std::uint64_t mask = std::uint64_t{1} << (pos % kBits);
+    if (value) {
+      words_[pos / kBits] |= mask;
+    } else {
+      words_[pos / kBits] &= ~mask;
+    }
+  }
   void reset(std::size_t pos) { set(pos, false); }
-  void clear();
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
 
   /// Grows the universe to `size` elements (new bits unset).  Shrinking is
   /// not supported.
   void resize(std::size_t size);
 
-  DynBitset& operator|=(const DynBitset& other);
-  DynBitset& operator&=(const DynBitset& other);
-  DynBitset& operator-=(const DynBitset& other);  ///< set difference
+  DynBitset& operator|=(const DynBitset& other) {
+    check_compatible(other);
+    bitkernel::or_words(words_.data(), other.words_.data(), words_.size());
+    return *this;
+  }
+  DynBitset& operator&=(const DynBitset& other) {
+    check_compatible(other);
+    bitkernel::and_words(words_.data(), other.words_.data(), words_.size());
+    return *this;
+  }
+  DynBitset& operator-=(const DynBitset& other) {  ///< set difference
+    check_compatible(other);
+    bitkernel::andnot_words(words_.data(), other.words_.data(), words_.size());
+    return *this;
+  }
 
   friend DynBitset operator|(DynBitset a, const DynBitset& b) { return a |= b; }
   friend DynBitset operator&(DynBitset a, const DynBitset& b) { return a &= b; }
   friend DynBitset operator-(DynBitset a, const DynBitset& b) { return a -= b; }
 
-  bool operator==(const DynBitset& other) const;
+  /// out = *this & ~other, reusing `out`'s storage (no allocation once its
+  /// universe matches).  The explicit-destination form of `operator-`.
+  void and_not_into(const DynBitset& other, DynBitset& out) const {
+    check_compatible(other);
+    if (out.size_ != size_) out = DynBitset(size_);
+    bitkernel::andnot_into_words(words_.data(), other.words_.data(),
+                                 out.words_.data(), words_.size());
+  }
+
+  bool operator==(const DynBitset& other) const {
+    return size_ == other.size_ &&
+           bitkernel::equal_words(words_.data(), other.words_.data(),
+                                  words_.size());
+  }
 
   /// True iff every bit set in *this is also set in `other`.
-  [[nodiscard]] bool is_subset_of(const DynBitset& other) const;
+  [[nodiscard]] bool is_subset_of(const DynBitset& other) const {
+    check_compatible(other);
+    return bitkernel::subset_words(words_.data(), other.words_.data(),
+                                   words_.size());
+  }
   /// True iff *this and `other` share at least one set bit.
-  [[nodiscard]] bool intersects(const DynBitset& other) const;
+  [[nodiscard]] bool intersects(const DynBitset& other) const {
+    check_compatible(other);
+    return bitkernel::intersects_words(words_.data(), other.words_.data(),
+                                       words_.size());
+  }
   /// True iff some bit is set in all three of `a`, `b` and `c`; the
   /// word-wise equivalent of `(a & b & c).any()` without the temporaries.
   [[nodiscard]] static bool intersects(const DynBitset& a, const DynBitset& b,
-                                       const DynBitset& c);
+                                       const DynBitset& c) {
+    a.check_compatible(b);
+    a.check_compatible(c);
+    return bitkernel::intersects3_words(a.words_.data(), b.words_.data(),
+                                        c.words_.data(), a.words_.size());
+  }
+  /// Number of bits set in both *this and `other`, without a temporary.
+  [[nodiscard]] std::size_t intersect_count(const DynBitset& other) const {
+    check_compatible(other);
+    return bitkernel::intersect_count_words(words_.data(), other.words_.data(),
+                                            words_.size());
+  }
 
   /// Index of the first set bit at or after `from`, or `npos` if none.
-  [[nodiscard]] std::size_t find_first(std::size_t from = 0) const;
+  [[nodiscard]] std::size_t find_first(std::size_t from = 0) const {
+    if (from >= size_) return npos;
+    std::size_t wi = from / kBits;
+    const std::uint64_t head =
+        words_[wi] & (~std::uint64_t{0} << (from % kBits));
+    if (head != 0)
+      return wi * kBits + static_cast<std::size_t>(std::countr_zero(head));
+    wi = bitkernel::find_nonzero_word(words_.data(), words_.size(), wi + 1);
+    if (wi == words_.size()) return npos;
+    return wi * kBits + static_cast<std::size_t>(std::countr_zero(words_[wi]));
+  }
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
   /// Indices of all set bits, ascending.
@@ -78,8 +164,14 @@ class DynBitset {
   [[nodiscard]] std::size_t hash() const;
 
  private:
+  static constexpr std::size_t kBits = 64;
+  static std::size_t words_for(std::size_t size) {
+    return (size + kBits - 1) / kBits;
+  }
   [[nodiscard]] std::size_t word_count() const { return words_.size(); }
-  void check_compatible(const DynBitset& other) const;
+  void check_compatible(const DynBitset& other) const {
+    SDF_CHECK(size_ == other.size_, "DynBitset size mismatch");
+  }
 
   std::vector<std::uint64_t> words_;
   std::size_t size_ = 0;

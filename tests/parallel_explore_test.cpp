@@ -7,6 +7,7 @@
 // on the paper's case study and on generated platforms.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <vector>
 
@@ -188,6 +189,75 @@ TEST(ParallelExplore, BandCapacityDoesNotChangeTheResult) {
     par_options.band_capacity = capacity;
     expect_identical(seq, parallel_explore(spec, par_options));
   }
+}
+
+TEST(ParallelExplore, BandTargetDoesNotChangeTheResult) {
+  // The adaptive controller (band_capacity == 0) re-sizes bands from the
+  // measured per-band implementation attempts; any setpoint — including
+  // extreme ones that force constant growing/shrinking — must leave the
+  // merged front bit-identical to the sequential engine's.
+  const SpecificationGraph& spec = settop();
+  ExploreOptions base;
+  base.stop_at_max_flexibility = false;
+  const ExploreResult seq = explore(spec, base);
+  for (const std::size_t target : {1u, 4u, 1000u}) {
+    SCOPED_TRACE("band_target=" + std::to_string(target));
+    ExploreOptions options = base;
+    options.num_threads = 4;
+    options.band_target = target;
+    const ExploreResult par = parallel_explore(spec, options);
+    expect_identical(seq, par);
+    EXPECT_GT(par.stats.band_capacity_last, 0u);
+  }
+}
+
+TEST(ParallelExplore, AdaptiveControllerGrowsMostlyFilteredBands) {
+  // With a huge setpoint every band under-shoots the target, so the
+  // controller must keep doubling the capacity (up to its clamp); a pinned
+  // band_capacity must disable the controller entirely.
+  const SpecificationGraph& spec = settop();
+  ExploreOptions adaptive;
+  adaptive.stop_at_max_flexibility = false;
+  adaptive.num_threads = 2;
+  adaptive.band_target = 100000;
+  const ExploreResult grown = parallel_explore(spec, adaptive);
+  ASSERT_TRUE(grown.status.ok());
+  EXPECT_GT(grown.stats.bands_grown, 0u);
+  EXPECT_EQ(grown.stats.bands_shrunk, 0u);
+  EXPECT_GT(grown.stats.band_capacity_last,
+            std::max<std::size_t>(adaptive.num_threads * 8, 16));
+
+  ExploreOptions pinned = adaptive;
+  pinned.band_capacity = 8;
+  const ExploreResult fixed = parallel_explore(spec, pinned);
+  ASSERT_TRUE(fixed.status.ok());
+  EXPECT_EQ(fixed.stats.bands_grown, 0u);
+  EXPECT_EQ(fixed.stats.bands_shrunk, 0u);
+  EXPECT_EQ(fixed.stats.band_capacity_last, 8u);
+  EXPECT_LE(fixed.stats.peak_band_size, 8u);
+  expect_identical(grown, fixed);
+}
+
+TEST(ParallelExplore, AdaptiveControllerShrinksAttemptHeavyBands) {
+  // A setpoint of 1 makes every band that attempts two or more
+  // implementations overshoot, so on a spec with many survivors the
+  // controller must halve the capacity at least once (never below its
+  // floor), again without touching the front.
+  const SpecificationGraph& spec = settop();
+  ExploreOptions options;
+  options.stop_at_max_flexibility = false;
+  options.use_flexibility_bound = false;  // maximize surviving candidates
+  options.num_threads = 2;
+  options.band_target = 1;
+  const ExploreResult shrunk = parallel_explore(spec, options);
+  ASSERT_TRUE(shrunk.status.ok());
+  EXPECT_GT(shrunk.stats.bands_shrunk, 0u);
+  EXPECT_GE(shrunk.stats.band_capacity_last,
+            std::max<std::size_t>(options.num_threads, 4));
+
+  ExploreOptions seq_options = options;
+  seq_options.num_threads = 1;
+  expect_identical(explore(spec, seq_options), shrunk);
 }
 
 TEST(ParallelExplore, AblationsIdenticalToSequential) {
