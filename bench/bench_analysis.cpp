@@ -1,0 +1,191 @@
+// Static analyzer: solver work saved by the sound relaxation, at equal fronts.
+//
+// The analyzer's ECA prefilter answers provably-infeasible binding queries
+// without searching; the opt-in allocation bound additionally prunes
+// candidates from the cost-ordered stream.  Both are *sound*, so this bench
+// asserts — not samples — that the Pareto front is bit-identical with the
+// analyzer off, on, and on+bound, and records the decision nodes avoided.
+// A second section checks the analyzer's own claim: every front point lies
+// inside the whole-spec cost interval.
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "bench_common.hpp"
+#include "gen/presets.hpp"
+#include "spec/compiled.hpp"
+#include "spec/paper_models.hpp"
+
+namespace sdf {
+namespace {
+
+struct Workload {
+  std::string name;
+  SpecificationGraph spec;
+};
+
+std::vector<Workload> workloads() {
+  std::vector<Workload> out;
+  out.push_back({"settop", models::make_settop_spec()});
+  out.push_back({"tv_decoder", models::make_tv_decoder_spec()});
+  out.push_back({"preset_settopbox_s7",
+                 generate_preset(PlatformPreset::kSetTopBox, 7)});
+  out.push_back({"preset_automotive_s7",
+                 generate_preset(PlatformPreset::kAutomotiveEcu, 7)});
+  out.push_back({"preset_baseband_s7",
+                 generate_preset(PlatformPreset::kBasebandDsp, 7)});
+  return out;
+}
+
+/// Best-of-N explore (wall time is scheduler-noisy; counters are not).
+ExploreResult best_of(const SpecificationGraph& spec,
+                      const ExploreOptions& options, int reps) {
+  ExploreResult best;
+  double wall = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    ExploreResult r = explore(spec, options);
+    if (r.stats.wall_seconds < wall) {
+      wall = r.stats.wall_seconds;
+      best = std::move(r);
+    }
+  }
+  return best;
+}
+
+void die(const std::string& workload, const char* what) {
+  std::fprintf(stderr,
+               "FATAL: %s: analyzer-on and analyzer-off runs differ (%s)\n",
+               workload.c_str(), what);
+  std::exit(1);
+}
+
+void expect_same_front(const std::string& name, const ExploreResult& a,
+                       const ExploreResult& b) {
+  if (a.front.size() != b.front.size()) die(name, "front size");
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    if (a.front[i].cost != b.front[i].cost ||
+        a.front[i].flexibility != b.front[i].flexibility ||
+        !(a.front[i].units == b.front[i].units))
+      die(name, "front row");
+  }
+}
+
+void print_pruning_savings(JsonObject& doc) {
+  bench::section(
+      "static analyzer: solver work off vs on vs on+bound (same fronts)");
+  Table table({"workload", "units", "nodes off", "nodes on", "nodes saved",
+               "pruned ecas", "nodes on+bound", "pruned allocs",
+               "wall off ms", "wall on ms"});
+
+  JsonArray runs;
+
+  for (const Workload& w : workloads()) {
+    ExploreOptions off_options;
+    off_options.stop_at_max_flexibility = false;  // full §4 walk
+    off_options.implementation.use_analysis = false;
+    ExploreOptions on_options = off_options;
+    on_options.implementation.use_analysis = true;
+    ExploreOptions bound_options = on_options;
+    bound_options.use_analysis_bound = true;
+
+    const ExploreResult off = best_of(w.spec, off_options, 3);
+    const ExploreResult on = best_of(w.spec, on_options, 3);
+    const ExploreResult bound = best_of(w.spec, bound_options, 3);
+
+    // Soundness, asserted: the analyzer may only change *how much* search
+    // ran, never what it concluded.
+    expect_same_front(w.name, on, off);
+    expect_same_front(w.name, bound, off);
+    if (on.stats.solver_calls != off.stats.solver_calls)
+      die(w.name, "solver_calls");
+
+    // The analyzer's own bounds must contain the solved front.
+    const SpecAnalysis analysis(w.spec.compiled());
+    const ClusterBounds& root = analysis.root_bounds();
+    for (const Implementation& impl : off.front) {
+      if (impl.cost + 1e-9 < root.lo) die(w.name, "front below lo");
+    }
+    if (!off.front.empty() && !root.reachable())
+      die(w.name, "nonempty front declared unreachable");
+
+    const double saved =
+        off.stats.solver_nodes == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(on.stats.solver_nodes) /
+                        static_cast<double>(off.stats.solver_nodes);
+    table.add_row({w.name, std::to_string(w.spec.alloc_units().size()),
+                   std::to_string(off.stats.solver_nodes),
+                   std::to_string(on.stats.solver_nodes),
+                   format_double(saved * 100.0, 1) + "%",
+                   std::to_string(on.stats.analysis_pruned),
+                   std::to_string(bound.stats.solver_nodes),
+                   std::to_string(bound.stats.analysis_pruned),
+                   format_double(off.stats.wall_seconds * 1e3, 2),
+                   format_double(on.stats.wall_seconds * 1e3, 2)});
+    JsonObject run{
+        {"workload", Json(w.name)},
+        {"units", Json(w.spec.alloc_units().size())},
+        {"front_size", Json(off.front.size())},
+        {"root_lo", Json(root.lo)},
+        {"root_hi", Json(root.hi)},
+        {"solver_calls", Json(static_cast<double>(off.stats.solver_calls))},
+        {"solver_nodes_off",
+         Json(static_cast<double>(off.stats.solver_nodes))},
+        {"solver_nodes_on", Json(static_cast<double>(on.stats.solver_nodes))},
+        {"nodes_saved_frac", Json(saved)},
+        {"analysis_pruned_ecas",
+         Json(static_cast<double>(on.stats.analysis_pruned))},
+        {"solver_nodes_bound",
+         Json(static_cast<double>(bound.stats.solver_nodes))},
+        {"analysis_pruned_bound",
+         Json(static_cast<double>(bound.stats.analysis_pruned))},
+        {"wall_seconds_off", Json(off.stats.wall_seconds)},
+        {"wall_seconds_on", Json(on.stats.wall_seconds)},
+    };
+    runs.push_back(Json(std::move(run)));
+  }
+  doc.emplace_back("runs", Json(std::move(runs)));
+  std::printf("%s", table.to_ascii().c_str());
+}
+
+void bm_analysis_build(benchmark::State& state) {
+  const SpecificationGraph spec = models::make_settop_spec();
+  const CompiledSpec& cs = spec.compiled();
+  for (auto _ : state) {
+    SpecAnalysis analysis(cs);
+    benchmark::DoNotOptimize(analysis.root_bounds().lo);
+  }
+}
+BENCHMARK(bm_analysis_build);
+
+void bm_allocation_infeasible(benchmark::State& state) {
+  const SpecificationGraph spec = models::make_settop_spec();
+  const CompiledSpec& cs = spec.compiled();
+  const SpecAnalysis analysis(cs);
+  AllocSet alloc = cs.make_alloc_set();
+  for (std::size_t i = 0; i < cs.unit_count(); i += 2) alloc.set(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis.allocation_infeasible(alloc));
+  }
+}
+BENCHMARK(bm_allocation_infeasible);
+
+}  // namespace
+}  // namespace sdf
+
+int main(int argc, char** argv) {
+  sdf::JsonObject doc;
+  doc.emplace_back("bench", sdf::Json("analysis"));
+  doc.emplace_back("host", sdf::bench::host_metadata());
+  sdf::print_pruning_savings(doc);
+  {
+    std::ofstream out("BENCH_analysis.json");
+    out << sdf::Json(std::move(doc)).dump(2) << '\n';
+  }
+  std::printf("wrote BENCH_analysis.json\n");
+  return sdf::bench::run_benchmarks(argc, argv);
+}

@@ -258,6 +258,7 @@ BENCHMARK(BM_ExploreCacheOn);
 int main(int argc, char** argv) {
   sdf::JsonObject doc;
   doc.emplace_back("bench", sdf::Json("bind_cache"));
+  doc.emplace_back("host", sdf::bench::host_metadata());
   sdf::print_cache_savings(doc);
   sdf::print_read_overhead(doc);
   {

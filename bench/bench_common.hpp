@@ -12,8 +12,10 @@
 #pragma once
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <cstdio>
+#include <thread>
 
 #include "core/sdf.hpp"
 
@@ -22,6 +24,43 @@ namespace sdf::bench {
 /// Prints a section header in a uniform style.
 inline void section(const char* title) {
   std::printf("\n=== %s ===\n\n", title);
+}
+
+/// Host and build provenance, stamped into every BENCH_*.json writer:
+/// benchmark numbers are meaningless without the machine, cache geometry
+/// and commit they were produced on.
+inline Json host_metadata() {
+  JsonObject host;
+  host.emplace_back(
+      "cores",
+      Json(static_cast<double>(std::thread::hardware_concurrency())));
+#ifdef SDF_BUILD_COMMIT
+  host.emplace_back("commit", Json(SDF_BUILD_COMMIT));
+#else
+  host.emplace_back("commit", Json("unknown"));
+#endif
+  host.emplace_back("compiler", Json(__VERSION__));
+#ifdef NDEBUG
+  host.emplace_back("optimized", Json(true));
+#else
+  host.emplace_back("optimized", Json(false));
+#endif
+  // Cache geometry (0 when the kernel does not expose it).
+#ifdef _SC_LEVEL1_DCACHE_SIZE
+  host.emplace_back(
+      "l1d_bytes",
+      Json(static_cast<double>(sysconf(_SC_LEVEL1_DCACHE_SIZE))));
+#endif
+#ifdef _SC_LEVEL1_DCACHE_LINESIZE
+  host.emplace_back(
+      "cache_line_bytes",
+      Json(static_cast<double>(sysconf(_SC_LEVEL1_DCACHE_LINESIZE))));
+#endif
+#ifdef _SC_LEVEL3_CACHE_SIZE
+  host.emplace_back(
+      "l3_bytes", Json(static_cast<double>(sysconf(_SC_LEVEL3_CACHE_SIZE))));
+#endif
+  return Json(std::move(host));
 }
 
 /// Runs the google-benchmark part after the table part.

@@ -338,6 +338,7 @@ void print_and_write(const std::vector<Row>& rows) {
                "speedup vs scalar", "speedup vs naive"});
   JsonObject doc;
   doc.emplace_back("bench", Json("kernels"));
+  doc.emplace_back("host", bench::host_metadata());
   doc.emplace_back("kernel_path", Json(std::string(bitkernel::kPath)));
   JsonArray runs;
   for (const Row& r : rows) {

@@ -161,6 +161,7 @@ void print_parallel_sweep() {
   JsonObject doc;
   doc.reserve(4);
   doc.emplace_back("bench", Json("explore_parallel"));
+  doc.emplace_back("host", bench::host_metadata());
   doc.emplace_back("spec_units", Json(spec.alloc_units().size()));
   doc.emplace_back("hardware_threads", Json(ThreadPool::hardware_threads()));
   JsonArray runs;
@@ -335,6 +336,7 @@ void print_compiled_sweep() {
   JsonObject doc;
   doc.reserve(4);
   doc.emplace_back("bench", Json("compiled_explore"));
+  doc.emplace_back("host", bench::host_metadata());
   doc.emplace_back("query_rounds", Json(kRounds));
   doc.emplace_back("allocations_sampled", Json(kAllocs));
   JsonArray runs;

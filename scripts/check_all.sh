@@ -73,4 +73,46 @@ for spec in examples/specs/*.json; do
 done
 rm -f /tmp/sdf_front_cache_on.$$ /tmp/sdf_front_cache_off.$$
 
+echo "============ static analyzer: sound bounds, identical fronts ============"
+# Two contracts, asserted per example spec:
+#   1. The solved front lies inside the analyzer's whole-spec cost interval
+#      (every front point costs at least the root lower bound — the bound
+#      is a theorem, so a violation is a bug, not noise).
+#   2. The analyzer may only remove solver work, never change results: the
+#      JSON front with --no-analysis and with --analysis-bound must be
+#      byte-identical to the default run.
+for spec in examples/specs/*.json; do
+  echo "analyze gate $spec"
+  "$SDF" analyze --json "$spec" > /tmp/sdf_analysis.$$
+  "$SDF" explore --json --no-stats "$spec" \
+    | extract_front > /tmp/sdf_front_default.$$
+  "$SDF" explore --json --no-stats --no-analysis "$spec" \
+    | extract_front > /tmp/sdf_front_noanalysis.$$
+  "$SDF" explore --json --no-stats --analysis-bound "$spec" \
+    | extract_front > /tmp/sdf_front_abound.$$
+  diff -u /tmp/sdf_front_default.$$ /tmp/sdf_front_noanalysis.$$ || {
+    echo "check_all: --no-analysis changed the front for $spec" >&2
+    exit 1
+  }
+  diff -u /tmp/sdf_front_default.$$ /tmp/sdf_front_abound.$$ || {
+    echo "check_all: --analysis-bound changed the front for $spec" >&2
+    exit 1
+  }
+  python3 - /tmp/sdf_analysis.$$ /tmp/sdf_front_default.$$ <<'PY'
+import json, sys
+analysis = json.load(open(sys.argv[1]))
+front = json.load(open(sys.argv[2]))
+roots = [c for c in analysis["clusters"] if c["root"]]
+assert len(roots) == 1, "expected exactly one root cluster"
+lo = roots[0]["lo"]
+for point in front:
+    assert point["cost"] >= lo - 1e-9, (
+        f"front point at cost {point['cost']} below analyzer bound {lo}")
+if front:
+    assert roots[0]["reachable"], "nonempty front but root declared dead"
+PY
+done
+rm -f /tmp/sdf_analysis.$$ /tmp/sdf_front_default.$$ \
+      /tmp/sdf_front_noanalysis.$$ /tmp/sdf_front_abound.$$
+
 echo "ALL GATES PASSED"

@@ -6,13 +6,21 @@
 #   scripts/check_tidy.sh              # lint all of src/
 #   scripts/check_tidy.sh src/lint     # lint one subtree
 #
-# Exits 0 with a notice when clang-tidy is not installed, so the aggregate
-# scripts/check_all.sh stays usable on boxes without LLVM.
+# The gate is *required* wherever clang-tidy can be expected: under CI (the
+# workflow installs LLVM) or when SDF_REQUIRE_TIDY=1, a missing binary is a
+# failure, not a skip.  Local boxes without LLVM still get a notice-and-skip
+# so the aggregate scripts/check_all.sh stays usable.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
-  echo "check_tidy: clang-tidy not found; skipping (install LLVM to enable)"
+  if [ -n "${SDF_REQUIRE_TIDY:-}" ] || [ -n "${CI:-}" ]; then
+    echo "check_tidy: clang-tidy not found but the gate is required" \
+         "(CI/SDF_REQUIRE_TIDY set); install LLVM" >&2
+    exit 1
+  fi
+  echo "check_tidy: clang-tidy not found; skipping" \
+       "(install LLVM to enable, SDF_REQUIRE_TIDY=1 makes this fatal)"
   exit 0
 fi
 

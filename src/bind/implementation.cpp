@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/analysis.hpp"
 #include "bind/bind_cache.hpp"
 #include "flex/activatability.hpp"
 #include "flex/flexibility.hpp"
@@ -49,9 +50,21 @@ std::optional<Implementation> build_implementation(
   impl.cost = cs.allocation_cost(alloc);
   impl.implemented_clusters = cs.problem().make_cluster_set();
 
+  const SpecAnalysis* analysis =
+      options.use_analysis ? options.analysis : nullptr;
+
   for (const Eca& eca : ecas) {
     SolverStats ss;
+    // `solver_calls` counts *queries*, not searches — it stays invariant
+    // under the cache and under this prefilter, so checkpointed counters
+    // and pinned test expectations are unaffected.
     ++st.solver_calls;
+    if (analysis != nullptr && analysis->eca_infeasible(alloc, eca)) {
+      // Sound proof: the solver would return kInfeasible.  Same verdict,
+      // zero nodes searched.
+      ++st.analysis_pruned;
+      continue;
+    }
     std::optional<Binding> binding =
         options.bind_cache != nullptr
             ? options.bind_cache->solve(cs, alloc, eca, options.solver, &ss)

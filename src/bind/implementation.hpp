@@ -52,6 +52,7 @@ struct Implementation {
 };
 
 class BindCache;
+class SpecAnalysis;
 
 struct ImplementationOptions {
   SolverOptions solver;
@@ -66,6 +67,18 @@ struct ImplementationOptions {
   /// when this is true and `bind_cache` is null.  `--no-bind-cache` clears
   /// it.
   bool use_bind_cache = true;
+  /// Static analyzer (not owned; may be null).  When set and `use_analysis`
+  /// is true, each ECA query runs the sound infeasibility relaxation first
+  /// and skips the solver search on a proof.  The verdict — and thus the
+  /// implementation, `solver_calls` and every checkpointed counter — is
+  /// identical either way; only `solver_nodes` (work actually searched)
+  /// shrinks.  Must have been built from this spec with these solver
+  /// options.
+  const SpecAnalysis* analysis = nullptr;
+  /// Engine-level default, mirroring `use_bind_cache`: the explore engines
+  /// attach a run-local analyzer when this is true and `analysis` is null.
+  /// `--no-analysis` clears it.
+  bool use_analysis = true;
 };
 
 struct ImplementationStats {
@@ -80,6 +93,9 @@ struct ImplementationStats {
   std::uint64_t cache_hits_feasible = 0;
   std::uint64_t cache_hits_infeasible = 0;
   std::uint64_t cache_revalidations = 0;
+  /// ECA queries answered "infeasible" by the static relaxation without
+  /// searching.  Informational (like the cache counters): not checkpointed.
+  std::uint64_t analysis_pruned = 0;
   /// Solver calls that were aborted by the run budget (vs. proven
   /// infeasible).  When nonzero the construction is *incomplete*: the
   /// returned implementation (or nullopt) says nothing definitive about

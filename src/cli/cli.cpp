@@ -4,6 +4,7 @@
 #include <optional>
 #include <sstream>
 
+#include "analysis/analysis.hpp"
 #include "explore/evolutionary.hpp"
 #include "explore/explorer.hpp"
 #include "explore/incremental.hpp"
@@ -60,6 +61,10 @@ int usage(std::ostream& err) {
          "  lint <spec.json> [flags]      full rule-based diagnostics; --list,\n"
          "                                --json, --rules=<ids>, --min-severity=<s>\n"
          "  flexibility <spec.json>       Def. 4 flexibility analysis\n"
+         "  analyze <spec.json> [--json]  sound static bounds without solving:\n"
+         "                                per-cluster cost intervals, packing\n"
+         "                                relaxation, comm closure (exit 2 =\n"
+         "                                front provably empty)\n"
          "  explore <spec.json> [flags]   flexibility/cost Pareto front;\n"
          "                                anytime: --deadline-ms, --max-solver-nodes,\n"
          "                                --checkpoint=<f> --resume (exit 3 = partial)\n"
@@ -203,6 +208,72 @@ int cmd_flexibility(const std::vector<std::string>& args, std::ostream& out,
   return 0;
 }
 
+/// Builds solver options from the flags shared by `explore` and `analyze`.
+/// Nonzero return = usage error.
+int parse_solver_flags(const Flags& flags, SolverOptions& solver,
+                       std::ostream& err) {
+  const std::string comm = flags.get("comm");
+  if (comm == "direct")
+    solver.comm_model = CommModel::kDirectOnly;
+  else if (comm == "anypath")
+    solver.comm_model = CommModel::kAnyPath;
+  else if (comm != "onehop") {
+    err << "unknown --comm value '" << comm << "'\n";
+    return 2;
+  }
+  solver.utilization_bound = flags.get_double("util-bound");
+  return 0;
+}
+
+int cmd_analyze(const std::vector<std::string>& raw, std::ostream& out,
+                std::ostream& err) {
+  Flags flags;
+  flags.define_bool("json", false, "emit the analysis as JSON");
+  flags.define("comm", "onehop", "communication model: direct|onehop|anypath");
+  flags.define("util-bound", "0.69", "utilization bound (0 disables)");
+  if (Status s = flags.parse(raw); !s.ok()) {
+    err << s.error().message << "\nflags:\n" << flags.usage();
+    return 2;
+  }
+  if (flags.positional().empty()) {
+    err << "analyze: missing <spec.json>\n";
+    return 2;
+  }
+  // Like `lint`, analysis must work on defective specs — diagnosing them
+  // is the point — so structural load-time validation is skipped.
+  Result<SpecificationGraph> spec =
+      load_spec(flags.positional()[0], SpecParseOptions{.validate = false});
+  if (!spec.ok()) {
+    err << spec.error().message << '\n';
+    return 1;
+  }
+  AnalysisOptions options;
+  if (int rc = parse_solver_flags(flags, options.solver, err); rc != 0)
+    return rc;
+  const SpecAnalysis analysis(spec.value().compiled(), options);
+  const Json report = analysis.to_json();
+  const bool empty_front = report.find("front_provably_empty") != nullptr &&
+                           report.find("front_provably_empty")->as_bool();
+  if (flags.get_bool("json")) {
+    out << report.dump(2) << '\n';
+    return empty_front ? 2 : 0;
+  }
+  out << analysis.to_table();
+  const ClusterBounds& root = analysis.root_bounds();
+  out << "whole spec: lo=" << format_double(root.lo)
+      << (root.reachable()
+              ? " hi=" + format_double(root.hi) + " (witness: " +
+                    spec.value().allocation_names(root.witness) + ")"
+              : " hi=inf (no allocation activates the root)")
+      << '\n'
+      << "mandatory processes: " << analysis.mandatory_processes().size()
+      << '\n';
+  if (empty_front)
+    out << "front provably empty: the relaxation over the always-active "
+           "processes is infeasible under the full allocation\n";
+  return empty_front ? 2 : 0;
+}
+
 int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
                 std::ostream& err) {
   Flags flags;
@@ -222,6 +293,15 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
   flags.define_bool("bind-cache", true,
                     "cross-allocation binding feasibility cache "
                     "(--no-bind-cache re-solves every ECA from scratch)");
+  flags.define_bool("analysis", true,
+                    "static-analyzer ECA prefilter: skip solver searches the "
+                    "relaxation proves infeasible (--no-analysis solves "
+                    "every ECA; the front and all checkpointed counters are "
+                    "identical either way)");
+  flags.define_bool("analysis-bound", false,
+                    "also prune candidate allocations and stream subtrees "
+                    "via the analyzer's relaxation (sound — same front — "
+                    "but work counters differ from a default run)");
   flags.define_bool("preflight", true,
                     "error-severity lint gate before exploring");
   flags.define_bool("evolutionary", false, "use the heuristic EA explorer");
@@ -261,19 +341,31 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
     return 2;
 
   ExploreOptions options;
-  const std::string comm = flags.get("comm");
-  if (comm == "direct")
-    options.implementation.solver.comm_model = CommModel::kDirectOnly;
-  else if (comm == "anypath")
-    options.implementation.solver.comm_model = CommModel::kAnyPath;
-  else if (comm != "onehop") {
-    err << "unknown --comm value '" << comm << "'\n";
-    return 2;
-  }
-  options.implementation.solver.utilization_bound =
-      flags.get_double("util-bound");
+  if (int rc = parse_solver_flags(flags, options.implementation.solver, err);
+      rc != 0)
+    return rc;
   options.prune_dominated_allocations = flags.get_bool("dominance-filter");
   options.implementation.use_bind_cache = flags.get_bool("bind-cache");
+  options.implementation.use_analysis = flags.get_bool("analysis");
+  options.use_analysis_bound = flags.get_bool("analysis-bound");
+
+  // Second preflight stage, now that the solver options are known: the
+  // analyzer's relaxation can prove the whole front empty in milliseconds,
+  // where the exploration below would only confirm it by exhausting the
+  // stream.  Sound, so failing here is definitive, not a heuristic.
+  if (flags.get_bool("preflight")) {
+    const CompiledSpec& pcs = spec.value().compiled();
+    const SpecAnalysis preflight_analysis(
+        pcs, AnalysisOptions{options.implementation.solver});
+    AllocSet all = pcs.make_alloc_set();
+    for (std::size_t i = 0; i < pcs.unit_count(); ++i) all.set(i);
+    if (preflight_analysis.allocation_infeasible(all)) {
+      err << "preflight: the static relaxation proves the Pareto front "
+             "empty under every allocation ('sdf analyze' shows the bounds, "
+             "--no-preflight explores anyway)\n";
+      return 2;
+    }
+  }
   options.use_flexibility_bound = flags.get_bool("flex-bound");
   options.use_branch_bound = flags.get_bool("branch-bound");
   options.collect_equivalents = flags.get_bool("equivalents");
@@ -438,7 +530,8 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
         << " cache_hits_feasible=" << stats.cache_hits_feasible
         << " cache_hits_infeasible=" << stats.cache_hits_infeasible
         << " cache_revalidations=" << stats.cache_revalidations
-        << " cache_entries=" << stats.cache_entries;
+        << " cache_entries=" << stats.cache_entries
+        << " analysis_pruned=" << stats.analysis_pruned;
     if (stats.threads != 0) {
       out << " threads=" << stats.threads << " bands=" << stats.bands
           << " band_capacity_last=" << stats.band_capacity_last;
@@ -690,6 +783,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "validate") return cmd_validate(rest, out, err);
   if (command == "lint") return cmd_lint(rest, out, err);
   if (command == "flexibility") return cmd_flexibility(rest, out, err);
+  if (command == "analyze") return cmd_analyze(rest, out, err);
   if (command == "explore") return cmd_explore(rest, out, err);
   if (command == "upgrade") return cmd_upgrade(rest, out, err);
   if (command == "sensitivity") return cmd_sensitivity(rest, out, err);

@@ -229,9 +229,13 @@ std::string explore_options_digest(const ExploreOptions& options) {
   // Every field that can change the *front* (engine parallelism and the
   // run budget deliberately excluded: they change work accounting and
   // where a run stops, never which points the completed front contains).
+  // `abound` never changes the front either, but it changes the
+  // *checkpointed* work counters (candidates skipped before evaluation),
+  // so a resumed chain must keep the same setting to stay bit-identical
+  // to an uninterrupted run.
   const std::string canon = strprintf(
       "comm=%d ub=%.17g excl=%d cap=%d nlim=%" PRIu64 " eca=%zu dom=%d "
-      "fbound=%d bbound=%d stopmax=%d equiv=%d maxcand=%" PRIu64,
+      "fbound=%d bbound=%d stopmax=%d equiv=%d maxcand=%" PRIu64 " abound=%d",
       static_cast<int>(s.comm_model), s.utilization_bound,
       static_cast<int>(s.exclusive_configurations),
       static_cast<int>(s.enforce_capacities), s.node_limit,
@@ -240,7 +244,8 @@ std::string explore_options_digest(const ExploreOptions& options) {
       static_cast<int>(options.use_flexibility_bound),
       static_cast<int>(options.use_branch_bound),
       static_cast<int>(options.stop_at_max_flexibility),
-      static_cast<int>(options.collect_equivalents), options.max_candidates);
+      static_cast<int>(options.collect_equivalents), options.max_candidates,
+      static_cast<int>(options.use_analysis_bound));
   return hex64(fnv1a64(canon));
 }
 

@@ -5,6 +5,7 @@
 #include <deque>
 #include <utility>
 
+#include "analysis/analysis.hpp"
 #include "bind/bind_cache.hpp"
 #include "explore/allocation_enum.hpp"
 #include "flex/activatability.hpp"
@@ -110,6 +111,15 @@ ExploreResult explore(const SpecificationGraph& spec,
   BindCache bind_cache;
   if (eval_impl.use_bind_cache && eval_impl.bind_cache == nullptr)
     eval_impl.bind_cache = &bind_cache;
+  // Run-local static analyzer: sound infeasibility proofs skip solver
+  // searches without changing verdicts (see bind/implementation.hpp).
+  std::optional<SpecAnalysis> analysis_store;
+  if (eval_impl.use_analysis && eval_impl.analysis == nullptr) {
+    analysis_store.emplace(cs, AnalysisOptions{eval_impl.solver});
+    eval_impl.analysis = &*analysis_store;
+  }
+  const SpecAnalysis* analysis =
+      eval_impl.use_analysis ? eval_impl.analysis : nullptr;
 
   double f_cur = 0.0;
   // When collecting equivalents, the search ends after walking through the
@@ -142,9 +152,20 @@ ExploreResult explore(const SpecificationGraph& spec,
     result.stats.resumed = true;
   }
 
-  if (options.use_branch_bound) {
-    stream.set_branch_bound([&, collect = options.collect_equivalents](
+  const bool analysis_bound = options.use_analysis_bound && analysis != nullptr;
+  if (options.use_branch_bound || analysis_bound) {
+    stream.set_branch_bound([&, analysis_bound,
+                             branch_bound = options.use_branch_bound,
+                             collect = options.collect_equivalents](
                                 const AllocSet& potential) {
+      // Relaxation bound (opt-in): infeasibility is monotone downward in
+      // the allocation, so a proof on the optimistic completion covers
+      // every descendant of this subtree.
+      if (analysis_bound && analysis->allocation_infeasible(potential)) {
+        ++result.stats.analysis_pruned;
+        return false;
+      }
+      if (!branch_bound) return true;
       if (f_cur <= 0.0) return true;  // nothing to beat yet
       const std::optional<double> est = estimate_flexibility(cs, potential);
       if (!est.has_value()) return false;
@@ -188,6 +209,13 @@ ExploreResult explore(const SpecificationGraph& spec,
       continue;
     }
 
+    if (analysis_bound && analysis->allocation_infeasible(*a)) {
+      // Sound proof that no activation of this allocation can be bound;
+      // skip before even the activatability pass.
+      ++result.stats.analysis_pruned;
+      continue;
+    }
+
     const Activatability act(cs, *a);
     if (!act.root_activatable()) continue;
     ++result.stats.possible_allocations;
@@ -211,6 +239,7 @@ ExploreResult explore(const SpecificationGraph& spec,
     result.stats.cache_hits_feasible += istats.cache_hits_feasible;
     result.stats.cache_hits_infeasible += istats.cache_hits_infeasible;
     result.stats.cache_revalidations += istats.cache_revalidations;
+    result.stats.analysis_pruned += istats.analysis_pruned;
 
     if (istats.budget_exceeded()) {
       // Abandoned mid-evaluation: roll the candidate's charges back (the

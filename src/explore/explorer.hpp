@@ -50,6 +50,13 @@ struct ExploreOptions {
   bool use_flexibility_bound = true;
   /// Prune stream subtrees via the optimistic-completion bound.
   bool use_branch_bound = true;
+  /// Also use the static analyzer's allocation-infeasibility relaxation as
+  /// a candidate filter and stream branch bound (`--analysis-bound`).  The
+  /// bound is sound, so the front is unchanged, but the *checkpointed* work
+  /// counters (candidates generated, implementation attempts) differ from a
+  /// default run — hence opt-in and part of the options digest, unlike the
+  /// always-on ECA prefilter which never changes any checkpointed counter.
+  bool use_analysis_bound = false;
   /// Stop as soon as the maximal flexibility has been implemented.
   bool stop_at_max_flexibility = true;
   /// Also collect *equivalent* Pareto points: alternative allocations with
@@ -107,6 +114,10 @@ struct ExploreStats {
   std::uint64_t cache_revalidations = 0;
   std::uint64_t cache_entries = 0;
   std::uint64_t branches_pruned = 0;
+  /// ECA solver queries (and, under `use_analysis_bound`, candidates or
+  /// stream subtrees) answered by the static relaxation without searching.
+  /// Informational like the cache counters.
+  std::uint64_t analysis_pruned = 0;
   bool exhausted = false;              ///< stream ran dry (vs. early stop)
   double wall_seconds = 0.0;
 

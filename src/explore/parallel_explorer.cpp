@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/analysis.hpp"
 #include "bind/bind_cache.hpp"
 #include "explore/allocation_enum.hpp"
 #include "flex/activatability.hpp"
@@ -68,6 +69,7 @@ struct BandCandidate {
   std::uint64_t cache_hits_feasible = 0;
   std::uint64_t cache_hits_infeasible = 0;
   std::uint64_t cache_revalidations = 0;
+  std::uint64_t analysis_pruned = 0;
   double filter_seconds = 0.0;
   double implement_seconds = 0.0;
 };
@@ -93,6 +95,13 @@ void evaluate_candidate(const CompiledSpec& cs,
   if (options.prune_dominated_allocations &&
       obviously_dominated(cs, dominance, cand.alloc)) {
     ++cand.dominated_skipped;
+    cand.filter_seconds = seconds_since(t0);
+    return;
+  }
+  if (options.use_analysis_bound && impl_opts.use_analysis &&
+      impl_opts.analysis != nullptr &&
+      impl_opts.analysis->allocation_infeasible(cand.alloc)) {
+    ++cand.analysis_pruned;
     cand.filter_seconds = seconds_since(t0);
     return;
   }
@@ -139,6 +148,7 @@ void evaluate_candidate(const CompiledSpec& cs,
   cand.cache_hits_feasible = istats.cache_hits_feasible;
   cand.cache_hits_infeasible = istats.cache_hits_infeasible;
   cand.cache_revalidations = istats.cache_revalidations;
+  cand.analysis_pruned = istats.analysis_pruned;
   cand.implement_seconds = seconds_since(t1);
   if (istats.budget_exceeded()) {
     cand.budget_aborted = true;
@@ -200,6 +210,15 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
   BindCache bind_cache;
   if (eval_impl.use_bind_cache && eval_impl.bind_cache == nullptr)
     eval_impl.bind_cache = &bind_cache;
+  // Run-local static analyzer, shared read-only by all band workers (all
+  // queries are const; see analysis/analysis.hpp).
+  std::optional<SpecAnalysis> analysis_store;
+  if (eval_impl.use_analysis && eval_impl.analysis == nullptr) {
+    analysis_store.emplace(cs, AnalysisOptions{eval_impl.solver});
+    eval_impl.analysis = &*analysis_store;
+  }
+  const SpecAnalysis* analysis =
+      eval_impl.use_analysis ? eval_impl.analysis : nullptr;
 
   double f_cur = 0.0;          // committed incumbent: merged candidates only
   double max_tie_cost = -1.0;  // collect_equivalents end-of-search tie cost
@@ -231,12 +250,20 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
     result.stats.resumed = true;
   }
 
-  if (options.use_branch_bound) {
+  const bool analysis_bound = options.use_analysis_bound && analysis != nullptr;
+  if (options.use_branch_bound || analysis_bound) {
     // Runs on the merge thread during band assembly, against the committed
     // incumbent — a (possibly stale) lower bound on the sequential f_cur at
     // the same stream position, so it can only prune less, never wrongly.
-    stream.set_branch_bound([&, collect = options.collect_equivalents](
+    stream.set_branch_bound([&, analysis_bound,
+                             branch_bound = options.use_branch_bound,
+                             collect = options.collect_equivalents](
                                 const AllocSet& potential) {
+      if (analysis_bound && analysis->allocation_infeasible(potential)) {
+        ++result.stats.analysis_pruned;
+        return false;
+      }
+      if (!branch_bound) return true;
       if (f_cur <= 0.0) return true;
       const std::optional<double> est = estimate_flexibility(cs, potential);
       if (!est.has_value()) return false;
@@ -377,6 +404,7 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
       result.stats.cache_hits_feasible += cand.cache_hits_feasible;
       result.stats.cache_hits_infeasible += cand.cache_hits_infeasible;
       result.stats.cache_revalidations += cand.cache_revalidations;
+      result.stats.analysis_pruned += cand.analysis_pruned;
       result.stats.filter_cpu_seconds += cand.filter_seconds;
       result.stats.implement_cpu_seconds += cand.implement_seconds;
     }

@@ -39,6 +39,11 @@ inline constexpr const char* kRuleMissingCost = "SDF013";
 inline constexpr const char* kRuleSingleAlternative = "SDF014";
 inline constexpr const char* kRuleDeadCluster = "SDF015";
 inline constexpr const char* kRuleUtilizationImpossible = "SDF016";
+inline constexpr const char* kRuleCostUnreachable = "SDF017";
+inline constexpr const char* kRuleCapacityImpossible = "SDF018";
+inline constexpr const char* kRuleBoundEmptyFront = "SDF019";
+inline constexpr const char* kRuleDominatedAlternative = "SDF020";
+inline constexpr const char* kRuleCommUnsatisfiable = "SDF021";
 
 /// One lint finding.
 struct Diagnostic {

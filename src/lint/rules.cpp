@@ -1,9 +1,12 @@
 #include "lint/rules.hpp"
 
+#include <cmath>
 #include <map>
 #include <utility>
 
+#include "analysis/analysis.hpp"
 #include "flex/activatability.hpp"
+#include "flex/flexibility.hpp"
 #include "sched/utilization.hpp"
 #include "spec/compiled.hpp"
 #include "util/strings.hpp"
@@ -205,6 +208,144 @@ void check_utilization_impossible(LintContext& ctx) {
   }
 }
 
+// ---- SDF017-SDF021: abstract-interpretation rules ----------------------------
+//
+// These five rules share one static analyzer (analysis/analysis.hpp) built
+// with the default solver options — the same configuration `sdf explore`
+// solves with unless overridden.  Every verdict they report is a *proof*
+// under those options, not a heuristic.
+
+// ---- SDF017: alternative costs more than covering the whole rest -------------
+
+void check_cost_unreachable(LintContext& ctx) {
+  const SpecAnalysis analysis(ctx.compiled);
+  const HierarchicalGraph& p = ctx.spec.problem();
+  for (const Cluster& c : p.clusters()) {
+    if (c.is_root()) continue;
+    const ClusterBounds& b = analysis.bounds(c.id);
+    if (std::isinf(b.lo)) continue;  // dead alternative: SDF015's business
+    const double rest = analysis.cover_cost_excluding(c.id);
+    if (std::isinf(rest) || b.lo <= rest) continue;
+    ctx.report(
+        "problem:" + cluster_path(p, c.id),
+        strprintf("activating alternative '%s' costs at least %s, more than "
+                  "the %s that covers every *other* behavior of the spec; no "
+                  "cost-bounded exploration will ever reach it",
+                  c.name.c_str(), format_double(b.lo).c_str(),
+                  format_double(rest).c_str()),
+        "map the cluster's processes to cheaper resources, or drop the "
+        "alternative");
+  }
+}
+
+// ---- SDF018: capacity packing proves a selection impossible ------------------
+
+void check_capacity_impossible(LintContext& ctx) {
+  const SpecAnalysis analysis(ctx.compiled);
+  const HierarchicalGraph& p = ctx.spec.problem();
+  AllocSet all = ctx.compiled.make_alloc_set();
+  for (std::size_t i = 0; i < ctx.compiled.unit_count(); ++i) all.set(i);
+  const Activatability act(ctx.compiled, all);
+  for (const Cluster& c : p.clusters()) {
+    if (c.is_root()) continue;      // whole-spec infeasibility is SDF019
+    if (!act.activatable(c.id)) continue;  // dead by reachability: SDF015
+    if (!analysis.cluster_core_infeasible(c.id)) continue;
+    ctx.report(
+        "problem:" + cluster_path(p, c.id),
+        "no binding can realize alternative '" + c.name +
+            "' even with every resource allocated: the capacity/utilization "
+            "relaxation over its mandatory processes is infeasible",
+        "raise the capacities of the mapped resources, add mappings to "
+        "spread the footprints, or relax the timing of the cluster's "
+        "processes");
+  }
+}
+
+// ---- SDF019: the whole Pareto front is provably empty ------------------------
+
+void check_bound_empty_front(LintContext& ctx) {
+  const SpecAnalysis analysis(ctx.compiled);
+  AllocSet all = ctx.compiled.make_alloc_set();
+  for (std::size_t i = 0; i < ctx.compiled.unit_count(); ++i) all.set(i);
+  // A root dead by plain reachability is SDF009/SDF015's diagnosis; this
+  // rule reports only what the *relaxation* adds on top of it.
+  if (!Activatability(ctx.compiled, all).root_activatable()) return;
+  if (!analysis.allocation_infeasible(all)) return;
+  const HierarchicalGraph& p = ctx.spec.problem();
+  ctx.report("problem:" + cluster_path(p, p.root()),
+             "the relaxation over the always-active processes is infeasible "
+             "under the full allocation: every allocation yields an empty "
+             "front, and `sdf explore` can only confirm that expensively",
+             "check the capacities, periods and communication paths of the "
+             "top-level processes before exploring");
+}
+
+// ---- SDF020: alternative dominated under every selection ---------------------
+
+// An alternative with a *positive* flexibility value is never dominated:
+// per Def. 4 each implemented alternative adds its own term, so even an
+// expensive sibling can appear in a Pareto-optimal implementation as an
+// additional behavior (that tradeoff is the paper's entire subject).
+// Domination is only provable when the weighted metric (footnote 2) values
+// the alternative's subtree at zero: then a sibling that delivers positive
+// flexibility for provably less cost dominates every selection through it.
+void check_dominated_alternative(LintContext& ctx) {
+  const SpecAnalysis analysis(ctx.compiled);
+  const HierarchicalGraph& p = ctx.spec.problem();
+  const ActivationPredicate always = [](ClusterId) { return true; };
+  for (const Node& n : p.nodes()) {
+    if (!n.is_interface() || n.clusters.size() < 2) continue;
+    for (ClusterId a : n.clusters) {
+      const ClusterBounds& ba = analysis.bounds(a);
+      if (std::isinf(ba.lo)) continue;  // dead: SDF015's business
+      if (weighted_flexibility(p, a, always) > 0.0) continue;
+      for (ClusterId sibling : n.clusters) {
+        if (sibling == a) continue;
+        const ClusterBounds& bs = analysis.bounds(sibling);
+        if (std::isinf(bs.hi_cover) || bs.hi_cover >= ba.lo) continue;
+        if (weighted_flexibility(p, sibling, always) <= 0.0) continue;
+        ctx.report(
+            "problem:" + cluster_path(p, a),
+            strprintf(
+                "alternative '%s' is dominated under every selection: its "
+                "weighted flexibility is zero, while sibling '%s' delivers "
+                "positive flexibility and its entire subtree is coverable "
+                "for %s — below '%s''s minimum activation cost %s",
+                p.cluster(a).name.c_str(), p.cluster(sibling).name.c_str(),
+                format_double(bs.hi_cover).c_str(), p.cluster(a).name.c_str(),
+                format_double(ba.lo).c_str()),
+            "give '" + p.cluster(a).name +
+                "' a positive flex_weight, remap it onto cheaper resources, "
+                "or remove it");
+        break;  // one dominator per alternative is enough
+      }
+    }
+  }
+}
+
+// ---- SDF021: dependence edge with no communicating candidate pair ------------
+
+void check_comm_unsatisfiable(LintContext& ctx) {
+  const SpecAnalysis analysis(ctx.compiled);
+  const HierarchicalGraph& p = ctx.spec.problem();
+  for (const Cluster& c : p.clusters()) {
+    for (EdgeId eid : c.edges) {
+      const Edge& e = p.edge(eid);
+      if (p.node(e.from).is_interface() || p.node(e.to).is_interface())
+        continue;
+      if (analysis.edge_comm_satisfiable(e.from, e.to)) continue;
+      ctx.report(
+          "problem:" + node_path(p, e.from) + " -> " + node_path(p, e.to),
+          "no candidate resource pair for this dependence edge can ever "
+          "communicate (no shared device, direct link, or bus), under any "
+          "allocation; every activation containing both endpoints is "
+          "unbindable",
+          "add a bus connecting the mapped resources, or map both processes "
+          "onto communicating devices");
+    }
+  }
+}
+
 }  // namespace
 
 void LintContext::report(std::string location, std::string message,
@@ -268,6 +409,27 @@ const std::vector<RuleDef>& rule_defs() {
        "a timing-relevant process exceeds the Liu/Layland bound on every "
        "mapped resource",
        &check_utilization_impossible},
+      {kRuleCostUnreachable, "cost-unreachable-alternative", Severity::kNote,
+       "an alternative's minimum activation cost exceeds the cost of "
+       "covering every other behavior of the spec",
+       &check_cost_unreachable},
+      {kRuleCapacityImpossible, "capacity-impossible-selection",
+       Severity::kError,
+       "the capacity/utilization relaxation proves an alternative "
+       "unbindable under even the full allocation",
+       &check_capacity_impossible},
+      {kRuleBoundEmptyFront, "bound-empty-front", Severity::kError,
+       "the relaxation proves the whole Pareto front empty before any "
+       "solver search",
+       &check_bound_empty_front},
+      {kRuleDominatedAlternative, "dominated-alternative", Severity::kNote,
+       "a zero-weight alternative costs provably more than a sibling that "
+       "delivers positive flexibility",
+       &check_dominated_alternative},
+      {kRuleCommUnsatisfiable, "comm-unsatisfiable-mapping", Severity::kError,
+       "a dependence edge admits no candidate resource pair that could ever "
+       "communicate",
+       &check_comm_unsatisfiable},
   };
   return defs;
 }

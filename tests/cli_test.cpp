@@ -464,5 +464,97 @@ TEST_F(CliTest, PipelineGenerateExplore) {
   EXPECT_NE(out_.str().find("cost"), std::string::npos);
 }
 
+TEST_F(CliTest, AnalyzeReportsBoundTable) {
+  EXPECT_EQ(run({"analyze", settop_path()}), 0);
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("cluster"), std::string::npos);
+  EXPECT_NE(text.find("whole spec: lo="), std::string::npos);
+  EXPECT_NE(text.find("witness:"), std::string::npos);
+  EXPECT_NE(text.find("mandatory processes:"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeEmitsJson) {
+  EXPECT_EQ(run({"analyze", settop_path(), "--json"}), 0);
+  Result<Json> doc = Json::parse(out_.str());
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  ASSERT_NE(doc.value().find("clusters"), nullptr);
+  EXPECT_GT(doc.value().find("clusters")->as_array().size(), 1u);
+  EXPECT_FALSE(doc.value().bool_or("front_provably_empty", true));
+  // Every cluster entry carries a sound interval: lo <= hi when reachable.
+  for (const Json& c : doc.value().find("clusters")->as_array()) {
+    if (!c.bool_or("reachable", false)) continue;
+    EXPECT_LE(c.number_or("lo", 0.0), c.number_or("hi", 0.0));
+  }
+}
+
+TEST_F(CliTest, AnalyzeProvablyEmptyFrontExitsTwo) {
+  // Two always-active processes forced onto one device: utilization 0.8
+  // exceeds the 0.69 bound under *every* allocation.
+  const std::string path = tmp_path("analyze_empty.json");
+  std::ofstream(path) << R"({
+    "name": "overloaded",
+    "problem": {"root": {"nodes": [
+      {"name": "Q1", "attrs": {"period": 10}},
+      {"name": "Q2", "attrs": {"period": 10}}]}},
+    "architecture": {"root": {"nodes": [{"name": "R",
+                                         "attrs": {"cost": 10}}]}},
+    "mappings": [
+      {"process": "Q1", "resource": "R", "latency": 4},
+      {"process": "Q2", "resource": "R", "latency": 4}
+    ]
+  })";
+  EXPECT_EQ(run({"analyze", path}), 2);
+  EXPECT_NE(out_.str().find("front provably empty"), std::string::npos);
+  EXPECT_EQ(run({"analyze", path, "--json"}), 2);
+  Result<Json> doc = Json::parse(out_.str());
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  EXPECT_TRUE(doc.value().bool_or("front_provably_empty", false));
+  // Relaxing the utilization bound away restores feasibility.
+  EXPECT_EQ(run({"analyze", path, "--util-bound=0"}), 0);
+}
+
+TEST_F(CliTest, AnalyzeUsageErrors) {
+  EXPECT_EQ(run({"analyze"}), 2);
+  EXPECT_EQ(run({"analyze", "/tmp/definitely_missing_file.json"}), 1);
+  EXPECT_EQ(run({"analyze", settop_path(), "--comm=wat"}), 2);
+}
+
+TEST_F(CliTest, ExploreAnalysisModesAgreeOnFront) {
+  // The ECA prefilter and the allocation-level bound are sound: all three
+  // modes print the identical Pareto front.
+  // (--no-stats: the node/pruning counters legitimately differ.)
+  EXPECT_EQ(run({"explore", settop_path(), "--csv", "--no-stats"}), 0);
+  const std::string base = out_.str();
+  EXPECT_NE(base.find("cost"), std::string::npos);
+  EXPECT_EQ(
+      run({"explore", settop_path(), "--csv", "--no-stats", "--no-analysis"}),
+      0);
+  EXPECT_EQ(out_.str(), base);
+  EXPECT_EQ(run({"explore", settop_path(), "--csv", "--no-stats",
+                 "--analysis-bound"}),
+            0);
+  EXPECT_EQ(out_.str(), base);
+}
+
+TEST_F(CliTest, ExploreAnalysisPreflightProvesFrontEmpty) {
+  // Lint-clean under the default 0.69 bound (utilization 0.5), but the
+  // analyzer's relaxation proves the front empty once --util-bound drops
+  // below it — the second preflight stage catches it before exploring.
+  const std::string path = tmp_path("analyze_preflight.json");
+  std::ofstream(path) << R"({
+    "name": "tight",
+    "problem": {"root": {"nodes": [{"name": "P", "attrs": {"period": 10}}]}},
+    "architecture": {"root": {"nodes": [{"name": "R",
+                                         "attrs": {"cost": 10}}]}},
+    "mappings": [{"process": "P", "resource": "R", "latency": 5}]
+  })";
+  EXPECT_EQ(run({"explore", path}), 0);
+  EXPECT_EQ(run({"explore", path, "--util-bound=0.4"}), 2);
+  EXPECT_NE(err_.str().find("relaxation proves the Pareto front empty"),
+            std::string::npos);
+  // The escape hatch explores anyway and confirms: empty front, exit 0.
+  EXPECT_EQ(run({"explore", path, "--util-bound=0.4", "--no-preflight"}), 0);
+}
+
 }  // namespace
 }  // namespace sdf

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 
+#include "flex/flexibility.hpp"
 #include "lint/lint.hpp"
 #include "spec/attributes.hpp"
 #include "spec/builder.hpp"
@@ -46,11 +47,11 @@ SpecBuilder clean_builder() {
 
 // ---- catalogue ---------------------------------------------------------------
 
-TEST(LintCatalog, SixteenRulesWithStableIds) {
+TEST(LintCatalog, TwentyOneRulesWithStableIds) {
   const std::vector<RuleInfo>& catalog = lint_rule_catalog();
-  ASSERT_EQ(catalog.size(), 16u);
+  ASSERT_EQ(catalog.size(), 21u);
   EXPECT_EQ(catalog.front().id, "SDF001");
-  EXPECT_EQ(catalog.back().id, "SDF016");
+  EXPECT_EQ(catalog.back().id, "SDF021");
   // Ids are unique and ascending.
   for (std::size_t i = 1; i < catalog.size(); ++i)
     EXPECT_LT(catalog[i - 1].id, catalog[i].id);
@@ -288,6 +289,106 @@ TEST(LintRule, SDF016UtilizationImpossible) {
   w0.timing(h3, 10.0, 0.0);
   w0.map(h3, w0.spec().architecture().find_node("R"), 40);
   EXPECT_TRUE(run_rule(w0.spec(), "SDF016").clean());
+}
+
+TEST(LintRule, SDF017CostUnreachableAlternative) {
+  SpecBuilder b = clean_builder();
+  const NodeId i = b.interface("I");
+  const ClusterId cheap = b.alternative(i, "cheap");
+  const NodeId c = b.process("C", cheap);
+  b.map(c, b.spec().architecture().find_node("R"), 1);
+  const ClusterId pricey = b.alternative(i, "pricey");
+  const NodeId e = b.process("E", pricey);
+  // Covering everything else costs 10 (R alone); activating 'pricey' can
+  // never cost less than 1000.
+  const NodeId exp = b.resource("Exp", 1000);
+  b.map(e, exp, 1);
+  const Diagnostic d = expect_fires_once(b.spec(), "SDF017");
+  EXPECT_EQ(d.severity, Severity::kNote);
+  EXPECT_NE(d.location.find("pricey"), std::string::npos);
+  (void)cheap;
+}
+
+TEST(LintRule, SDF018CapacityImpossibleSelection) {
+  SpecBuilder b = clean_builder();
+  const NodeId m = b.resource("M", 20);
+  b.spec().architecture().set_attr(m, attr::kCapacity, 100.0);
+  const NodeId i = b.interface("I");
+  const ClusterId small = b.alternative(i, "small");
+  const NodeId s = b.process("S", small);
+  b.map(s, b.spec().architecture().find_node("R"), 1);
+  const ClusterId big = b.alternative(i, "big");
+  // Each process fits M alone (60 <= 100) so SDF012/candidate filters stay
+  // silent, but both are *forced* onto M and 120 > 100.
+  for (const char* name : {"B1", "B2"}) {
+    const NodeId p = b.process(name, big);
+    b.spec().problem().set_attr(p, attr::kFootprint, 60.0);
+    b.map(p, m, 1);
+  }
+  const Diagnostic d = expect_fires_once(b.spec(), "SDF018");
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_NE(d.location.find("big"), std::string::npos);
+  (void)small;
+}
+
+TEST(LintRule, SDF019BoundEmptyFront) {
+  SpecBuilder b = clean_builder();
+  const NodeId r = b.spec().architecture().find_node("R");
+  // Each process respects the Liu/Layland bound alone (0.4 <= 0.69, so
+  // SDF016 stays silent) but both are forced onto R: 0.8 > 0.69 under
+  // *every* allocation — the whole front is provably empty.
+  for (const char* name : {"Q1", "Q2"}) {
+    const NodeId q = b.process(name);
+    b.timing(q, 10.0);
+    b.map(q, r, 4);
+  }
+  EXPECT_TRUE(run_rule(b.spec(), "SDF016").clean());
+  const Diagnostic d = expect_fires_once(b.spec(), "SDF019");
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_NE(d.message.find("empty"), std::string::npos);
+}
+
+TEST(LintRule, SDF020DominatedAlternative) {
+  SpecBuilder b = clean_builder();
+  const NodeId i = b.interface("I");
+  const ClusterId good = b.alternative(i, "good");
+  const NodeId g = b.process("G", good);
+  b.map(g, b.spec().architecture().find_node("R"), 1);
+  const ClusterId waste = b.alternative(i, "waste");
+  const NodeId w = b.process("W", waste);
+  const NodeId exp = b.resource("Exp", 50);
+  b.map(w, exp, 1);
+  // 'waste' is explicitly valued at zero flexibility yet needs at least 50
+  // of resources; 'good' covers its whole subtree for 10.
+  b.spec().problem().set_attr(waste, kFlexWeightAttr, 0.0);
+  const Diagnostic d = expect_fires_once(b.spec(), "SDF020");
+  EXPECT_EQ(d.severity, Severity::kNote);
+  EXPECT_NE(d.location.find("waste"), std::string::npos);
+  // With the default weight the same spec is just a legitimate cost /
+  // flexibility tradeoff — no finding.
+  b.spec().problem().set_attr(waste, kFlexWeightAttr, 1.0);
+  EXPECT_TRUE(run_rule(b.spec(), "SDF020").clean());
+  (void)good;
+}
+
+TEST(LintRule, SDF021CommUnsatisfiableMapping) {
+  SpecBuilder b = clean_builder();
+  const NodeId q = b.process("Q");
+  const NodeId r2 = b.resource("R2", 10);
+  b.map(q, r2, 1);
+  // P runs on R, Q on R2; the two devices share no edge and no bus, so the
+  // dependence can never be communicated under any allocation.
+  b.depends(b.spec().problem().find_node("P"), q);
+  const Diagnostic d = expect_fires_once(b.spec(), "SDF021");
+  EXPECT_EQ(d.severity, Severity::kError);
+  // A bus connecting both devices clears the finding.
+  SpecBuilder ok = clean_builder();
+  const NodeId q2 = ok.process("Q");
+  const NodeId s2 = ok.resource("R2", 10);
+  ok.map(q2, s2, 1);
+  ok.depends(ok.spec().problem().find_node("P"), q2);
+  ok.bus("B", 5, {ok.spec().architecture().find_node("R"), s2});
+  EXPECT_TRUE(run_rule(ok.spec(), "SDF021").clean());
 }
 
 // ---- engine behavior ---------------------------------------------------------
