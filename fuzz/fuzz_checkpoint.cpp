@@ -1,0 +1,55 @@
+// Fuzz harness for the checkpoint loader (`--resume` front door).
+//
+// A checkpoint file is untrusted input: it may be truncated, bit-flipped,
+// or handcrafted (huge counters, fractional unit indices, wrong version).
+// The loader must reject hostile documents with a clean error — never
+// crash, leak, or hit UB (the double→integer casts here were a real bug).
+//
+// For inputs the loader accepts, serialization must be a fixed point:
+// to_string ∘ from_string ∘ to_string == to_string.  A failed round trip
+// means the loader accepts states the writer cannot represent, which
+// would silently corrupt a resumed run.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "explore/checkpoint.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  sdf::Result<sdf::ExploreCheckpoint> ck =
+      sdf::ExploreCheckpoint::from_string(text);
+  if (!ck.ok()) return 0;
+
+  const std::string first = ck.value().to_string();
+  sdf::Result<sdf::ExploreCheckpoint> again =
+      sdf::ExploreCheckpoint::from_string(first);
+  if (!again.ok()) {
+    std::fprintf(stderr,
+                 "fuzz_checkpoint: accepted input failed to round-trip: %s\n",
+                 again.error().message.c_str());
+    std::abort();
+  }
+  if (again.value().to_string() != first) {
+    std::fprintf(stderr,
+                 "fuzz_checkpoint: serialization is not a fixed point\n");
+    std::abort();
+  }
+
+  // The streaming loader must agree with the string loader byte for byte.
+  sdf::StringViewByteReader reader(text, size == 0 ? 1 : 1 + (size % 64));
+  sdf::Result<sdf::ExploreCheckpoint> streamed =
+      sdf::ExploreCheckpoint::from_stream(reader);
+  if (!streamed.ok() || streamed.value().to_string() != first) {
+    std::fprintf(stderr,
+                 "fuzz_checkpoint: from_stream diverged from from_string\n");
+    std::abort();
+  }
+  return 0;
+}
+
+#include "fuzz_driver.hpp"

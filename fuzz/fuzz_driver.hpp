@@ -1,0 +1,257 @@
+// Standalone fallback driver for the fuzz harnesses.
+//
+// When a harness is built with Clang, libFuzzer supplies main() and this
+// header compiles to nothing (SDF_FUZZ_LIBFUZZER).  Under GCC — the only
+// compiler in the CI image — this header provides a main() that accepts a
+// libFuzzer-compatible command line:
+//
+//   fuzz_foo [flags] [corpus-dir-or-file ...]
+//     -runs=N            stop after N mutated executions (default 0 = no cap)
+//     -max_total_time=S  stop after S seconds of mutation (default 10)
+//     -seed=N            PRNG seed (default fixed, so CI runs are
+//                        reproducible; pass a different seed to explore)
+//
+// Every corpus input is replayed once, then a mutation loop derives new
+// inputs from random corpus entries via splitmix64-driven byte edits and
+// a small JSON-aware token dictionary.  There is no coverage feedback —
+// this driver trades libFuzzer's guidance for determinism and zero extra
+// dependencies; the corpus seeds carry the structural coverage.
+//
+// On SIGSEGV/SIGABRT/SIGBUS/SIGILL/SIGFPE the input being executed is
+// dumped (async-signal-safely) to crash-<harness>-<iteration>.bin in the
+// current directory, then the signal is re-raised so the exit status still
+// reflects the crash.  scripts/check_all.sh collects those reproducers
+// into fuzz/corpus/.
+#pragma once
+
+#ifndef SDF_FUZZ_LIBFUZZER
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace sdf_fuzz {
+
+// The input currently inside LLVMFuzzerTestOneInput, for the crash dump.
+// Plain globals: the handler may fire at any point during execution.
+inline const std::uint8_t* g_data = nullptr;
+inline std::size_t g_size = 0;
+inline char g_crash_path[256] = "crash-fuzz.bin";
+
+inline void crash_handler(int sig) {
+  // Only async-signal-safe calls from here down.
+  const int fd = ::open(g_crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    const std::uint8_t* p = g_data;
+    std::size_t left = g_size;
+    while (left > 0) {
+      const ssize_t n = ::write(fd, p, left);
+      if (n <= 0) break;
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+  }
+  const char msg[] = "\nfuzz driver: reproducer written to ";
+  (void)!::write(2, msg, sizeof(msg) - 1);
+  (void)!::write(2, g_crash_path, ::strlen(g_crash_path));
+  (void)!::write(2, "\n", 1);
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+inline std::uint64_t splitmix64(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline void run_one(const std::vector<std::uint8_t>& input) {
+  g_data = input.data();
+  g_size = input.size();
+  (void)LLVMFuzzerTestOneInput(input.data(), input.size());
+  g_data = nullptr;
+  g_size = 0;
+}
+
+// Structure-aware seasoning for the byte-level mutator: tokens the
+// schema readers actually dispatch on, plus numeric edge cases.
+inline const char* const kDictionary[] = {
+    "\"name\"",     "\"kind\"",    "\"nodes\"",        "\"edges\"",
+    "\"clusters\"", "\"ports\"",   "\"mapping\"",      "\"mappings\"",
+    "\"problem\"",  "\"architecture\"",                "\"root\"",
+    "\"attrs\"",    "\"interface\"",                   "\"vertex\"",
+    "\"from\"",     "\"to\"",      "\"src_port\"",     "\"dst_port\"",
+    "\"direction\"",               "\"in\"",           "\"out\"",
+    "\"process\"",  "\"resource\"","\"latency\"",      "\"version\"",
+    "\"front\"",    "\"pending\"", "\"frontier\"",     "\"counters\"",
+    "\"units\"",    "\"equivalents\"",                 "\"spec_digest\"",
+    "\"options_digest\"",          "\"emitted\"",      "\"pruned\"",
+    "null",         "true",        "false",            "1e999",
+    "-1e309",       "1e-999",      "0.5",              "18446744073709551616",
+    "4294967296",   "\\u0041",     "\\uDC00",          "{}",
+    "[]",           "{\"a\":",     "[[",               "\"\"",
+};
+
+inline std::vector<std::uint8_t> mutate(
+    const std::vector<std::vector<std::uint8_t>>& corpus, std::uint64_t& rng) {
+  std::vector<std::uint8_t> out;
+  if (!corpus.empty())
+    out = corpus[splitmix64(rng) % corpus.size()];
+  const int edits = 1 + static_cast<int>(splitmix64(rng) % 4);
+  for (int e = 0; e < edits; ++e) {
+    switch (splitmix64(rng) % 6) {
+      case 0: {  // flip a byte
+        if (out.empty()) break;
+        out[splitmix64(rng) % out.size()] =
+            static_cast<std::uint8_t>(splitmix64(rng));
+        break;
+      }
+      case 1: {  // insert a random byte
+        const std::size_t at = out.empty() ? 0 : splitmix64(rng) % out.size();
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                   static_cast<std::uint8_t>(splitmix64(rng)));
+        break;
+      }
+      case 2: {  // erase a short range
+        if (out.empty()) break;
+        const std::size_t at = splitmix64(rng) % out.size();
+        const std::size_t len =
+            std::min<std::size_t>(1 + splitmix64(rng) % 16, out.size() - at);
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(at),
+                  out.begin() + static_cast<std::ptrdiff_t>(at + len));
+        break;
+      }
+      case 3: {  // truncate
+        if (out.empty()) break;
+        out.resize(splitmix64(rng) % out.size());
+        break;
+      }
+      case 4: {  // splice a window from another corpus entry
+        if (corpus.empty()) break;
+        const auto& other = corpus[splitmix64(rng) % corpus.size()];
+        if (other.empty()) break;
+        const std::size_t from = splitmix64(rng) % other.size();
+        const std::size_t len =
+            std::min<std::size_t>(1 + splitmix64(rng) % 64, other.size() - from);
+        const std::size_t at = out.empty() ? 0 : splitmix64(rng) % out.size();
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                   other.begin() + static_cast<std::ptrdiff_t>(from),
+                   other.begin() + static_cast<std::ptrdiff_t>(from + len));
+        break;
+      }
+      default: {  // insert a dictionary token
+        const char* tok =
+            kDictionary[splitmix64(rng) %
+                        (sizeof(kDictionary) / sizeof(kDictionary[0]))];
+        const std::size_t at = out.empty() ? 0 : splitmix64(rng) % out.size();
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                   reinterpret_cast<const std::uint8_t*>(tok),
+                   reinterpret_cast<const std::uint8_t*>(tok + ::strlen(tok)));
+        break;
+      }
+    }
+  }
+  // Keep mutated inputs small: the harnesses cap resources anyway, and
+  // small inputs execute orders of magnitude more iterations per second.
+  if (out.size() > (std::size_t{1} << 16)) out.resize(std::size_t{1} << 16);
+  return out;
+}
+
+inline int driver_main(int argc, char** argv) {
+  std::uint64_t seed = 0x5dff00d5dff00d1ULL;  // fixed: CI is reproducible
+  long long runs = 0;
+  long long max_total_time = 10;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::strtoll(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_total_time = std::strtoll(arg.c_str() + 16, nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      // Ignore unknown libFuzzer flags so shared invocations keep working.
+      std::fprintf(stderr, "fuzz driver: ignoring flag %s\n", arg.c_str());
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+        if (!entry.is_regular_file()) continue;
+        std::ifstream in(entry.path(), std::ios::binary);
+        corpus.emplace_back(std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>());
+      }
+    } else {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "fuzz driver: cannot open %s\n", path.c_str());
+        return 2;
+      }
+      corpus.emplace_back(std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>());
+    }
+  }
+
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGILL, SIGFPE})
+    ::signal(sig, &crash_handler);
+
+  const char* name = argc > 0 ? argv[0] : "fuzz";
+  if (const char* slash = std::strrchr(name, '/')) name = slash + 1;
+
+  // Phase 1: replay every corpus input unmodified.
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    std::snprintf(g_crash_path, sizeof(g_crash_path), "crash-%s-corpus-%zu.bin",
+                  name, i);
+    run_one(corpus[i]);
+  }
+  std::fprintf(stderr, "fuzz driver: replayed %zu corpus inputs\n",
+               corpus.size());
+
+  // Phase 2: mutation loop until -runs or -max_total_time is exhausted.
+  const auto start = std::chrono::steady_clock::now();
+  long long executed = 0;
+  while (true) {
+    if (runs > 0 && executed >= runs) break;
+    if (max_total_time > 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+      if (elapsed >= max_total_time) break;
+    }
+    std::snprintf(g_crash_path, sizeof(g_crash_path), "crash-%s-%lld.bin", name,
+                  executed);
+    run_one(mutate(corpus, seed));
+    ++executed;
+  }
+  std::fprintf(stderr, "fuzz driver: %lld mutated executions, no crashes\n",
+               executed);
+  return 0;
+}
+
+}  // namespace sdf_fuzz
+
+int main(int argc, char** argv) { return sdf_fuzz::driver_main(argc, argv); }
+
+#endif  // SDF_FUZZ_LIBFUZZER

@@ -1,0 +1,42 @@
+// Fuzz harness for the diagnostic pipeline behind the front door.
+//
+// The lint tools deliberately parse with validation off so they can load
+// a defective specification and report every finding — which means the
+// lint engine and (for validating specs) the compiler must tolerate any
+// graph the lenient parser can produce.  This harness drives exactly that
+// pipeline: lenient parse, lint, and — when the spec also validates —
+// CompiledSpec construction.  Crashes, leaks, and UB are the findings;
+// the sanitizers (build with -DSDF_SANITIZE=address) turn them fatal.
+#include <cstdint>
+#include <string_view>
+
+#include "lint/lint.hpp"
+#include "spec/compiled.hpp"
+#include "spec/spec_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  sdf::SpecParseOptions options;
+  options.validate = false;
+  options.limits.max_total_bytes = 1 << 20;
+  options.limits.max_string_bytes = 1 << 16;
+  options.limits.max_nodes = 1 << 16;
+
+  sdf::Result<sdf::SpecificationGraph> spec =
+      sdf::spec_from_string(text, options);
+  if (!spec.ok()) return 0;
+
+  // The full rule registry must survive whatever the lenient parse built.
+  (void)sdf::lint(spec.value());
+
+  // Compilation assumes a structurally valid specification; gate on the
+  // same check the validating front door runs.
+  if (spec.value().validate().ok()) {
+    const sdf::CompiledSpec compiled(spec.value());
+    (void)compiled;
+  }
+  return 0;
+}
+
+#include "fuzz_driver.hpp"

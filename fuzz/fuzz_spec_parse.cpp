@@ -1,0 +1,79 @@
+// Differential fuzz harness for the specification front door.
+//
+// Every input is parsed twice: single-shot (spec_from_string, the whole
+// text in one chunk) and streamed through an input-derived chunk size.
+// The two paths must agree exactly — same accept/reject verdict, same
+// error message (offsets included), and for accepted inputs the same
+// canonical serialization.  Any divergence is a chunk-boundary bug in the
+// incremental parser, the one class of defect unit tests are worst at
+// catching, so the harness aborts on it just as hard as on a crash.
+//
+// Resource caps are tightened well below the ingest defaults: the fuzzer
+// should spend its time exploring parser states, not allocating 256 MiB
+// documents.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "spec/spec_io.hpp"
+#include "util/byte_reader.hpp"
+
+namespace {
+
+sdf::SpecParseOptions fuzz_options() {
+  sdf::SpecParseOptions options;
+  options.limits.max_total_bytes = 1 << 20;
+  options.limits.max_string_bytes = 1 << 16;
+  options.limits.max_nodes = 1 << 16;
+  return options;
+}
+
+[[noreturn]] void divergence(const char* what, const std::string& single,
+                             const std::string& streamed) {
+  std::fprintf(stderr,
+               "fuzz_spec_parse: single-shot and streamed parse diverged "
+               "(%s)\n  single:   %s\n  streamed: %s\n",
+               what, single.c_str(), streamed.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const sdf::SpecParseOptions options = fuzz_options();
+
+  sdf::Result<sdf::SpecificationGraph> single =
+      sdf::spec_from_string(text, options);
+
+  // Chunk size is derived from the input so the corpus explores many
+  // different chunk boundaries; 1..64 covers every state-machine edge.
+  const std::size_t chunk = size == 0 ? 1 : 1 + (size % 64);
+  sdf::StringViewByteReader reader(text, chunk);
+  sdf::Result<sdf::SpecificationGraph> streamed =
+      sdf::spec_from_stream(reader, options);
+
+  if (single.ok() != streamed.ok())
+    divergence("verdict",
+               single.ok() ? "<ok>" : single.error().message,
+               streamed.ok() ? "<ok>" : streamed.error().message);
+  if (!single.ok()) {
+    if (single.error().message != streamed.error().message)
+      divergence("error message", single.error().message,
+                 streamed.error().message);
+    return 0;
+  }
+
+  sdf::Result<std::string> a = sdf::spec_to_string(single.value());
+  sdf::Result<std::string> b = sdf::spec_to_string(streamed.value());
+  if (a.ok() != b.ok())
+    divergence("serialization verdict", a.ok() ? "<ok>" : a.error().message,
+               b.ok() ? "<ok>" : b.error().message);
+  if (a.ok() && a.value() != b.value())
+    divergence("serialized text", a.value(), b.value());
+  return 0;
+}
+
+#include "fuzz_driver.hpp"

@@ -4,8 +4,9 @@
 #   1. scripts/check.sh        build, ctest, benches, ASan+UBSan suite
 #   2. scripts/check_tsan.sh   ThreadSanitizer over the concurrency tests
 #   3. fault injection         SDF_FAULT_INJECTION=ON + TSan, armed-site tests
-#   4. scripts/check_tidy.sh   clang-tidy profile (skips if not installed)
-#   5. sdf lint                zero-diagnostic gate over examples/specs/
+#   4. fuzz harnesses          front-door parsers under ASan+UBSan, ~60s each
+#   5. scripts/check_tidy.sh   clang-tidy profile (skips if not installed)
+#   6. sdf lint                zero-diagnostic gate over examples/specs/
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +24,31 @@ cmake --build "$FAULT_BUILD" --target "${FAULT_TESTS[@]}" -j "$(nproc)"
 for t in "${FAULT_TESTS[@]}"; do
   echo "-------------------- $t (fault+tsan) --------------------"
   "$FAULT_BUILD/tests/$t"
+done
+
+echo "==================== fuzz harnesses (asan+ubsan) ===================="
+# Continuous fuzzing of the untrusted front doors: the spec parser
+# (differential single-shot vs chunked), the lint pipeline, and the
+# checkpoint loader.  Reuses the instrumented tree check.sh built, so
+# crashes, leaks, and UB all abort.  ~60s per harness (override with
+# SDF_FUZZ_TIME); the standalone driver uses a fixed seed, so a CI failure
+# reproduces locally.  On a crash the reproducer is copied into
+# fuzz/corpus/<harness>/ — commit it, and every future run replays it.
+FUZZ_BUILD=build-addresssan
+cmake -B "$FUZZ_BUILD" -DSDF_SANITIZE=address -DSDF_FUZZ=ON
+cmake --build "$FUZZ_BUILD" --target fuzz_spec_parse fuzz_lint fuzz_checkpoint \
+  -j "$(nproc)"
+FUZZ_TIME="${SDF_FUZZ_TIME:-60}"
+rm -f crash-*.bin
+for h in spec_parse lint checkpoint; do
+  echo "-------------------- fuzz_$h (${FUZZ_TIME}s) --------------------"
+  if ! UBSAN_OPTIONS=halt_on_error=1 \
+      "$FUZZ_BUILD/fuzz/fuzz_$h" -max_total_time="$FUZZ_TIME" \
+      "fuzz/corpus/$h"; then
+    cp -v crash-*.bin "fuzz/corpus/$h/" 2>/dev/null || true
+    echo "check_all: fuzz_$h failed; reproducers copied to fuzz/corpus/$h" >&2
+    exit 1
+  fi
 done
 
 scripts/check_tidy.sh

@@ -30,13 +30,9 @@ namespace {
 
 Result<SpecificationGraph> load_spec(const std::string& path,
                                      const SpecParseOptions& options = {}) {
-  std::ifstream in(path);
-  if (!in) return Error{"cannot open '" + path + "'"};
-  std::stringstream buf;
-  buf << in.rdbuf();
-  Result<SpecificationGraph> spec = spec_from_string(buf.str(), options);
-  if (!spec.ok()) return spec.error().wrap(path);
-  return spec;
+  // Chunked streaming load with ingest caps; "-" reads stdin (pipes and
+  // FIFOs work — the input is never materialized as one buffer).
+  return spec_from_file(path, options);
 }
 
 /// Error-severity lint rules as a gate before a potentially long
@@ -73,7 +69,8 @@ int usage(std::ostream& err) {
          "  reduce <spec.json> --alloc=<units>       reduced spec to stdout\n"
          "  dot <spec.json> [flags]       Graphviz rendering to stdout\n"
          "  generate [flags]              synthetic specification to stdout\n"
-         "  demo <settop|decoder>         built-in paper model to stdout\n";
+         "  demo <settop|decoder>         built-in paper model to stdout\n"
+         "<spec.json> may be '-' to stream the specification from stdin.\n";
   return 2;
 }
 
@@ -399,14 +396,13 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
       err << "--resume requires --checkpoint=<file>\n";
       return 2;
     }
-    std::ifstream in(checkpoint_path);
+    std::ifstream in(checkpoint_path, std::ios::binary);
     if (!in) {
       err << "cannot open checkpoint '" << checkpoint_path << "'\n";
       return 1;
     }
-    std::stringstream buf;
-    buf << in.rdbuf();
-    Result<ExploreCheckpoint> ck = ExploreCheckpoint::from_string(buf.str());
+    IstreamByteReader reader(in);
+    Result<ExploreCheckpoint> ck = ExploreCheckpoint::from_stream(reader);
     if (!ck.ok()) {
       err << ck.error().wrap(checkpoint_path).message << '\n';
       return 1;

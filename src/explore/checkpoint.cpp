@@ -1,11 +1,13 @@
 #include "explore/checkpoint.hpp"
 
 #include <cinttypes>
+#include <cmath>
 
 #include "explore/explorer.hpp"
 #include "spec/compiled.hpp"
 #include "spec/spec_io.hpp"
 #include "util/json.hpp"
+#include "util/json_stream.hpp"
 #include "util/strings.hpp"
 
 namespace sdf {
@@ -40,18 +42,25 @@ Result<std::vector<std::uint32_t>> units_from_json(const Json& json,
   std::vector<std::uint32_t> out;
   out.reserve(json.as_array().size());
   for (const Json& e : json.as_array()) {
-    if (!e.is_number() || e.as_number() < 0.0)
+    // Range-check before the narrowing cast: a hostile checkpoint can hold
+    // any double (1e99, -0.5, 4e9), and an out-of-range double-to-integer
+    // conversion is undefined behavior, not just a wrong value.
+    const double v = e.is_number() ? e.as_number() : -1.0;
+    if (!(v >= 0.0 && v <= 4294967295.0) || v != std::floor(v))
       return Error{strprintf("checkpoint: %s holds a non-index entry", what)};
-    out.push_back(static_cast<std::uint32_t>(e.as_int()));
+    out.push_back(static_cast<std::uint32_t>(v));
   }
   return out;
 }
 
 Result<std::uint64_t> u64_field(const Json& json, const char* key) {
   const Json* f = json.find(key);
-  if (f == nullptr || !f->is_number() || f->as_number() < 0.0)
+  // 2^64 is exactly representable; anything >= it (or negative, fractional,
+  // NaN) would make the cast below undefined behavior or silently wrong.
+  const double v = (f != nullptr && f->is_number()) ? f->as_number() : -1.0;
+  if (!(v >= 0.0 && v < 18446744073709551616.0) || v != std::floor(v))
     return Error{strprintf("checkpoint: missing or invalid '%s'", key)};
-  return static_cast<std::uint64_t>(f->as_number());
+  return static_cast<std::uint64_t>(v);
 }
 
 }  // namespace
@@ -115,8 +124,10 @@ Result<ExploreCheckpoint> ExploreCheckpoint::from_json(const Json& json) {
   if (json.string_or("format", "") != kFormat)
     return Error{"checkpoint: not an sdf-explore-checkpoint document"};
   const Json* version = json.find("version");
+  // Compare as doubles: `as_int()` on an out-of-range value (a mutated
+  // checkpoint can hold 1e99) would be an undefined narrowing conversion.
   if (version == nullptr || !version->is_number() ||
-      version->as_int() != kVersion)
+      version->as_number() != static_cast<double>(kVersion))
     return Error{strprintf("checkpoint: unsupported version (expected %d)",
                            kVersion)};
 
@@ -213,9 +224,27 @@ std::string ExploreCheckpoint::to_string() const { return to_json().dump(2); }
 
 Result<ExploreCheckpoint> ExploreCheckpoint::from_string(
     std::string_view text) {
-  Result<Json> json = Json::parse(text);
+  // Checkpoints come through the same untrusted front door as specs
+  // (--resume points at an arbitrary file), so the same ingest caps apply.
+  Result<Json> json = Json::parse(text, JsonLimits::ingest_defaults());
   if (!json.ok()) return json.error().wrap("checkpoint");
   return from_json(json.value());
+}
+
+Result<ExploreCheckpoint> ExploreCheckpoint::from_stream(ByteReader& in) {
+  JsonDomBuilder builder;
+  JsonStreamParser parser(builder, JsonLimits::ingest_defaults());
+  char buf[64 * 1024];
+  while (true) {
+    Result<std::size_t> n = in.read(buf, sizeof buf);
+    if (!n.ok()) return n.error().wrap("checkpoint");
+    if (n.value() == 0) break;
+    if (Status s = parser.feed(std::string_view(buf, n.value())); !s.ok())
+      return s.error().wrap("checkpoint");
+  }
+  if (Status s = parser.finish(); !s.ok())
+    return s.error().wrap("checkpoint");
+  return from_json(builder.take());
 }
 
 Result<std::string> explore_spec_digest(const SpecificationGraph& spec) {

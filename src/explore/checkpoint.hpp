@@ -27,6 +27,7 @@
 
 #include "bind/implementation.hpp"
 #include "explore/allocation_enum.hpp"
+#include "util/byte_reader.hpp"
 #include "util/status.hpp"
 
 namespace sdf {
@@ -87,6 +88,9 @@ struct ExploreCheckpoint {
   [[nodiscard]] std::string to_string() const;
   [[nodiscard]] static Result<ExploreCheckpoint> from_string(
       std::string_view text);
+  /// Streaming load with ingest resource caps: the `--resume` file is
+  /// untrusted input and never needs to be materialized whole.
+  [[nodiscard]] static Result<ExploreCheckpoint> from_stream(ByteReader& in);
 };
 
 /// Digest of the canonical serialized specification (FNV-1a 64, hex).

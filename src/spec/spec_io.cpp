@@ -107,153 +107,6 @@ Result<Json> graph_to_json(const HierarchicalGraph& g) {
   return Json(std::move(obj));
 }
 
-// ---- reading ----------------------------------------------------------------
-
-struct PendingPortMapping {
-  PortId port;
-  std::string cluster_name;
-  std::string node_name;
-};
-
-class GraphReader {
- public:
-  explicit GraphReader(HierarchicalGraph& g) : g_(g) {}
-
-  Status read(const Json& doc) {
-    const Json* root = doc.find("root");
-    if (!root || !root->is_object())
-      return Error{"graph is missing its 'root' cluster"};
-    if (Status s = read_cluster_into(*root, g_.root()); !s.ok()) return s;
-    // Resolve deferred port mappings (targets may be declared after ports).
-    for (const PendingPortMapping& pm : pending_) {
-      const ClusterId cid = g_.find_cluster(pm.cluster_name);
-      const NodeId nid = g_.find_node(pm.node_name);
-      if (!cid.valid())
-        return Error{"port mapping references unknown cluster '" +
-                     pm.cluster_name + "'"};
-      if (!nid.valid())
-        return Error{"port mapping references unknown node '" + pm.node_name +
-                     "'"};
-      g_.map_port(pm.port, cid, nid);
-    }
-    return Status::Ok();
-  }
-
- private:
-  Status read_attrs(const Json& obj, auto&& apply) {
-    const Json* attrs = obj.find("attrs");
-    if (!attrs) return Status::Ok();
-    if (!attrs->is_object()) return Error{"'attrs' must be an object"};
-    for (const auto& [k, v] : attrs->as_object()) {
-      if (!v.is_number()) return Error{"attribute '" + k + "' is not numeric"};
-      apply(k, v.as_number());
-    }
-    return Status::Ok();
-  }
-
-  Status read_cluster_into(const Json& cj, ClusterId cid) {
-    if (Status s = read_attrs(
-            cj, [&](const std::string& k, double v) { g_.set_attr(cid, k, v); });
-        !s.ok())
-      return s;
-
-    std::unordered_map<std::string, NodeId> local;
-    const Json* nodes = cj.find("nodes");
-    if (nodes) {
-      if (!nodes->is_array()) return Error{"'nodes' must be an array"};
-      for (const Json& nj : nodes->as_array()) {
-        if (!nj.is_object()) return Error{"node entries must be objects"};
-        const std::string name = nj.string_or("name", "");
-        if (name.empty()) return Error{"node without a name"};
-        const std::string kind = nj.string_or("kind", "vertex");
-        NodeId nid;
-        if (kind == "interface") {
-          nid = g_.add_interface(cid, name);
-          if (Status s = read_interface_parts(nj, nid); !s.ok()) return s;
-        } else if (kind == "vertex") {
-          nid = g_.add_vertex(cid, name);
-        } else {
-          return Error{"unknown node kind '" + kind + "'"};
-        }
-        local[name] = nid;
-        if (Status s = read_attrs(nj, [&](const std::string& k, double v) {
-              g_.set_attr(nid, k, v);
-            });
-            !s.ok())
-          return s;
-      }
-    }
-
-    const Json* edges = cj.find("edges");
-    if (edges) {
-      if (!edges->is_array()) return Error{"'edges' must be an array"};
-      for (const Json& ej : edges->as_array()) {
-        const std::string from = ej.string_or("from", "");
-        const std::string to = ej.string_or("to", "");
-        const auto fi = local.find(from);
-        const auto ti = local.find(to);
-        if (fi == local.end() || ti == local.end())
-          return Error{strprintf("edge '%s' -> '%s' references nodes outside "
-                                 "its cluster",
-                                 from.c_str(), to.c_str())};
-        PortId sp, dp;
-        if (const std::string n = ej.string_or("src_port", ""); !n.empty()) {
-          sp = g_.find_port(fi->second, n);
-          if (!sp.valid()) return Error{"unknown src_port '" + n + "'"};
-        }
-        if (const std::string n = ej.string_or("dst_port", ""); !n.empty()) {
-          dp = g_.find_port(ti->second, n);
-          if (!dp.valid()) return Error{"unknown dst_port '" + n + "'"};
-        }
-        const EdgeId eid = g_.add_edge(fi->second, ti->second, sp, dp);
-        if (Status s = read_attrs(ej, [&](const std::string& k, double v) {
-              g_.set_attr(eid, k, v);
-            });
-            !s.ok())
-          return s;
-      }
-    }
-    return Status::Ok();
-  }
-
-  Status read_interface_parts(const Json& nj, NodeId iface) {
-    if (const Json* ports = nj.find("ports")) {
-      if (!ports->is_array()) return Error{"'ports' must be an array"};
-      for (const Json& pj : ports->as_array()) {
-        const std::string pname = pj.string_or("name", "");
-        if (pname.empty()) return Error{"port without a name"};
-        const std::string dir = pj.string_or("direction", "in");
-        const PortId pid = g_.add_port(
-            iface, pname,
-            dir == "out" ? PortDirection::kOut : PortDirection::kIn);
-        if (const Json* mapping = pj.find("mapping")) {
-          if (!mapping->is_object())
-            return Error{"port 'mapping' must be an object"};
-          for (const auto& [cluster_name, target] : mapping->as_object()) {
-            if (!target.is_string())
-              return Error{"port mapping targets must be node names"};
-            pending_.push_back(
-                PendingPortMapping{pid, cluster_name, target.as_string()});
-          }
-        }
-      }
-    }
-    if (const Json* clusters = nj.find("clusters")) {
-      if (!clusters->is_array()) return Error{"'clusters' must be an array"};
-      for (const Json& cj : clusters->as_array()) {
-        const std::string cname = cj.string_or("name", "");
-        if (cname.empty()) return Error{"cluster without a name"};
-        const ClusterId cid = g_.add_cluster(iface, cname);
-        if (Status s = read_cluster_into(cj, cid); !s.ok()) return s;
-      }
-    }
-    return Status::Ok();
-  }
-
-  HierarchicalGraph& g_;
-  std::vector<PendingPortMapping> pending_;
-};
-
 }  // namespace
 
 Result<Json> spec_to_json(const SpecificationGraph& spec) {
@@ -286,47 +139,7 @@ Result<std::string> spec_to_string(const SpecificationGraph& spec) {
   return doc.value().dump(2);
 }
 
-Result<SpecificationGraph> spec_from_json(const Json& doc,
-                                          const SpecParseOptions& options) {
-  if (!doc.is_object()) return Error{"specification must be a JSON object"};
-  SpecificationGraph spec(doc.string_or("name", "G_S"));
-
-  const Json* problem = doc.find("problem");
-  if (!problem) return Error{"missing 'problem' graph"};
-  if (Status s = GraphReader(spec.problem()).read(*problem); !s.ok())
-    return s.error().wrap("problem graph");
-
-  const Json* architecture = doc.find("architecture");
-  if (!architecture) return Error{"missing 'architecture' graph"};
-  if (Status s = GraphReader(spec.architecture()).read(*architecture); !s.ok())
-    return s.error().wrap("architecture graph");
-
-  if (const Json* mappings = doc.find("mappings")) {
-    if (!mappings->is_array()) return Error{"'mappings' must be an array"};
-    for (const Json& mj : mappings->as_array()) {
-      const std::string pname = mj.string_or("process", "");
-      const std::string rname = mj.string_or("resource", "");
-      const NodeId p = spec.problem().find_node(pname);
-      const NodeId r = spec.architecture().find_node(rname);
-      if (!p.valid())
-        return Error{"mapping references unknown process '" + pname + "'"};
-      if (!r.valid())
-        return Error{"mapping references unknown resource '" + rname + "'"};
-      spec.add_mapping(p, r, mj.number_or("latency", 0.0));
-    }
-  }
-
-  if (options.validate) {
-    if (Status s = spec.validate(); !s.ok()) return s.error();
-  }
-  return spec;
-}
-
-Result<SpecificationGraph> spec_from_string(std::string_view text,
-                                            const SpecParseOptions& options) {
-  Result<Json> doc = Json::parse(text);
-  if (!doc.ok()) return doc.error();
-  return spec_from_json(doc.value(), options);
-}
+// spec_from_json / spec_from_string / spec_from_stream / spec_from_file
+// live in spec_stream.cpp: all four share the streaming schema reader.
 
 }  // namespace sdf

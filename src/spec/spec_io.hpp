@@ -18,7 +18,9 @@
 #include <string>
 
 #include "spec/specification.hpp"
+#include "util/byte_reader.hpp"
 #include "util/json.hpp"
+#include "util/json_stream.hpp"
 
 namespace sdf {
 
@@ -37,14 +39,36 @@ struct SpecParseOptions {
   /// turn this off so they can load a defective specification and report
   /// *all* findings through the lint engine instead.
   bool validate = true;
+  /// Resource caps applied while parsing (see `JsonLimits`).  The front
+  /// door defaults to the ingest caps: hostile inputs that are small on
+  /// the wire but explosive in memory are rejected mid-parse, before the
+  /// memory is ever allocated.
+  JsonLimits limits = JsonLimits::ingest_defaults();
 };
 
-/// Parses a specification from a JSON document.
+/// Parses a specification from a JSON document.  Shares the streaming
+/// schema reader with `spec_from_stream` (the DOM is replayed as an event
+/// stream), so both paths accept exactly the same documents.
 [[nodiscard]] Result<SpecificationGraph> spec_from_json(
     const Json& doc, const SpecParseOptions& options = {});
 
-/// Parses a specification from JSON text.
+/// Parses a specification from JSON text.  Thin shim over
+/// `spec_from_stream`: the whole text is fed as one chunk.
 [[nodiscard]] Result<SpecificationGraph> spec_from_string(
     std::string_view text, const SpecParseOptions& options = {});
+
+/// Streaming front door: pulls chunks from `in` and builds the
+/// specification incrementally as elements complete.  Memory stays bounded
+/// by `options.limits` regardless of input size; the input never needs to
+/// be materialized as one contiguous buffer.  Within composite elements
+/// the identifying keys must come first ("name"/"kind" before a node's
+/// "clusters"/"ports", a cluster's "name" before its contents) — the order
+/// the writer has always emitted.
+[[nodiscard]] Result<SpecificationGraph> spec_from_stream(
+    ByteReader& in, const SpecParseOptions& options = {});
+
+/// Opens `path` ("-" = stdin) and parses it via `spec_from_stream`.
+[[nodiscard]] Result<SpecificationGraph> spec_from_file(
+    const std::string& path, const SpecParseOptions& options = {});
 
 }  // namespace sdf

@@ -81,6 +81,9 @@ class SpecificationGraph {
   SpecificationGraph& operator=(SpecificationGraph&& other) noexcept;
 
   [[nodiscard]] const std::string& name() const { return name_; }
+  /// Renames the specification.  Streaming ingestion needs this because a
+  /// document's "name" key may arrive after construction has begun.
+  void set_name(std::string name) { name_ = std::move(name); }
 
   [[nodiscard]] HierarchicalGraph& problem() { return problem_; }
   [[nodiscard]] const HierarchicalGraph& problem() const { return problem_; }

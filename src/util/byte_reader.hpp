@@ -1,0 +1,75 @@
+// Chunked byte sources for streaming ingestion.
+//
+// `ByteReader` is the minimal pull interface `spec_from_stream` and the
+// checkpoint loader consume: repeated `read()` calls fill a caller buffer
+// until 0 is returned (end of input) or an error is reported.  Adapters
+// exist for `std::istream` (files, stdin, FIFOs) and for in-memory views
+// with a configurable chunk size — the latter is what the chunk-size sweep
+// tests drive to prove byte-split independence.
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace sdf {
+
+/// Abstract chunked byte source.
+class ByteReader {
+ public:
+  virtual ~ByteReader() = default;
+
+  /// Reads up to `capacity` bytes into `out`.  Returns the number of bytes
+  /// produced; 0 means end of input.  Short reads are allowed anywhere.
+  [[nodiscard]] virtual Result<std::size_t> read(char* out,
+                                                 std::size_t capacity) = 0;
+};
+
+/// Adapts any `std::istream` (ifstream, cin, stringstream).  Distinguishes
+/// clean EOF from a stream-level read failure (e.g. an I/O error on a
+/// FIFO): the latter surfaces as an error, not as silent truncation.
+class IstreamByteReader final : public ByteReader {
+ public:
+  explicit IstreamByteReader(std::istream& in) : in_(in) {}
+
+  [[nodiscard]] Result<std::size_t> read(char* out,
+                                         std::size_t capacity) override {
+    if (capacity == 0 || in_.eof()) return std::size_t{0};
+    in_.read(out, static_cast<std::streamsize>(capacity));
+    const std::size_t got = static_cast<std::size_t>(in_.gcount());
+    if (in_.bad()) return Error{"I/O error while reading input"};
+    return got;
+  }
+
+ private:
+  std::istream& in_;
+};
+
+/// Serves an in-memory buffer in fixed-size chunks.  Chunk size 0 means
+/// "everything in one read".  Tests use small sizes (1..64) to exercise
+/// every token-splitting boundary in the streaming parser.
+class StringViewByteReader final : public ByteReader {
+ public:
+  explicit StringViewByteReader(std::string_view data,
+                                std::size_t chunk_size = 0)
+      : data_(data), chunk_(chunk_size == 0 ? data.size() : chunk_size) {}
+
+  [[nodiscard]] Result<std::size_t> read(char* out,
+                                         std::size_t capacity) override {
+    std::size_t n = data_.size() - pos_;
+    if (n > chunk_) n = chunk_;
+    if (n > capacity) n = capacity;
+    data_.copy(out, n, pos_);
+    pos_ += n;
+    return n;
+  }
+
+ private:
+  std::string_view data_;
+  std::size_t chunk_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sdf

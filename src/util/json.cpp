@@ -1,10 +1,9 @@
 #include "util/json.hpp"
 
-#include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 
+#include "util/json_stream.hpp"
 #include "util/strings.hpp"
 
 namespace sdf {
@@ -138,188 +137,16 @@ std::string Json::dump(int indent) const {
   return out;
 }
 
-namespace {
+Result<Json> Json::parse(std::string_view text) {
+  return parse(text, JsonLimits{});
+}
 
-class Parser {
- public:
-  /// Containers deeper than this are rejected: parsing recurses once per
-  /// nesting level, so an adversarial "[[[[..." document would otherwise
-  /// overflow the stack.  Far above any legitimate specification document.
-  static constexpr int kMaxDepth = 256;
-
-  explicit Parser(std::string_view text) : text_(text) {}
-
-  Result<Json> run() {
-    skip_ws();
-    Result<Json> v = parse_value();
-    if (!v.ok()) return v;
-    skip_ws();
-    if (pos_ != text_.size()) return fail("trailing characters");
-    return v;
-  }
-
- private:
-  Error fail(const std::string& what) const {
-    return Error{strprintf("JSON parse error at offset %zu: %s", pos_,
-                           what.c_str())};
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r'))
-      ++pos_;
-  }
-
-  bool consume(char c) {
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool consume_word(std::string_view w) {
-    if (text_.substr(pos_, w.size()) == w) {
-      pos_ += w.size();
-      return true;
-    }
-    return false;
-  }
-
-  Result<Json> parse_value() {
-    if (pos_ >= text_.size()) return fail("unexpected end of input");
-    const char c = text_[pos_];
-    if (c == '{' || c == '[') {
-      if (depth_ >= kMaxDepth) return fail("nesting too deep");
-      ++depth_;
-      Result<Json> v = c == '{' ? parse_object() : parse_array();
-      --depth_;
-      return v;
-    }
-    if (c == '"') {
-      Result<std::string> s = parse_string();
-      if (!s.ok()) return s.error();
-      return Json(std::move(s).value());
-    }
-    if (consume_word("null")) return Json(nullptr);
-    if (consume_word("true")) return Json(true);
-    if (consume_word("false")) return Json(false);
-    return parse_number();
-  }
-
-  Result<Json> parse_number() {
-    const std::size_t start = pos_;
-    if (consume('-')) {}
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-'))
-      ++pos_;
-    if (pos_ == start) return fail("invalid value");
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double d = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) return fail("invalid number");
-    return Json(d);
-  }
-
-  Result<std::string> parse_string() {
-    if (!consume('"')) return fail("expected string");
-    std::string out;
-    while (pos_ < text_.size()) {
-      char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) break;
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else return fail("bad \\u escape");
-            }
-            // UTF-8 encode (BMP only; surrogate pairs are not emitted by the
-            // library's own writer).
-            if (code < 0x80) {
-              out += static_cast<char>(code);
-            } else if (code < 0x800) {
-              out += static_cast<char>(0xC0 | (code >> 6));
-              out += static_cast<char>(0x80 | (code & 0x3F));
-            } else {
-              out += static_cast<char>(0xE0 | (code >> 12));
-              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-              out += static_cast<char>(0x80 | (code & 0x3F));
-            }
-            break;
-          }
-          default: return fail("unknown escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-    return fail("unterminated string");
-  }
-
-  Result<Json> parse_array() {
-    consume('[');
-    JsonArray arr;
-    skip_ws();
-    if (consume(']')) return Json(std::move(arr));
-    while (true) {
-      skip_ws();
-      Result<Json> v = parse_value();
-      if (!v.ok()) return v;
-      arr.push_back(std::move(v).value());
-      skip_ws();
-      if (consume(']')) return Json(std::move(arr));
-      if (!consume(',')) return fail("expected ',' or ']'");
-    }
-  }
-
-  Result<Json> parse_object() {
-    consume('{');
-    JsonObject obj;
-    skip_ws();
-    if (consume('}')) return Json(std::move(obj));
-    while (true) {
-      skip_ws();
-      Result<std::string> key = parse_string();
-      if (!key.ok()) return key.error();
-      skip_ws();
-      if (!consume(':')) return fail("expected ':'");
-      skip_ws();
-      Result<Json> v = parse_value();
-      if (!v.ok()) return v;
-      obj.emplace_back(std::move(key).value(), std::move(v).value());
-      skip_ws();
-      if (consume('}')) return Json(std::move(obj));
-      if (!consume(',')) return fail("expected ',' or '}'");
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-  int depth_ = 0;
-};
-
-}  // namespace
-
-Result<Json> Json::parse(std::string_view text) { return Parser(text).run(); }
+Result<Json> Json::parse(std::string_view text, const JsonLimits& limits) {
+  JsonDomBuilder builder;
+  JsonStreamParser parser(builder, limits);
+  if (Status s = parser.feed(text); !s.ok()) return s.error();
+  if (Status s = parser.finish(); !s.ok()) return s.error();
+  return builder.take();
+}
 
 }  // namespace sdf

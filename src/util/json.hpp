@@ -21,6 +21,7 @@
 namespace sdf {
 
 class Json;
+struct JsonLimits;  // util/json_stream.hpp
 
 using JsonArray = std::vector<Json>;
 /// Insertion-ordered object representation.
@@ -87,7 +88,12 @@ class Json {
   [[nodiscard]] std::string dump(int indent = -1) const;
 
   /// Parses a complete JSON document (trailing garbage is an error).
+  /// Thin shim over `JsonStreamParser` (util/json_stream.hpp) with the
+  /// default limits: depth-capped but otherwise unbounded.
   [[nodiscard]] static Result<Json> parse(std::string_view text);
+  /// Same, with explicit resource caps (see `JsonLimits`).
+  [[nodiscard]] static Result<Json> parse(std::string_view text,
+                                          const JsonLimits& limits);
 
  private:
   void dump_to(std::string& out, int indent, int depth) const;

@@ -149,6 +149,35 @@ TEST(SpecIoRobust, HostileScalarsAreRejectedOrIgnored) {
   }
 }
 
+TEST(SpecIoRobust, NonFiniteNumericLiteralsAreDiagnosed) {
+  // Regression: the parser used to let strtod overflow `1e999` to +inf and
+  // carry the non-finite value silently into attributes and latencies.
+  // Overflowing literals are now a parse error with a diagnostic.
+  for (const char* doc : {
+           "1e999",
+           "-1e999",
+           "[1e400]",
+           "{\"latency\": 1e999}",
+           "{\"attrs\": {\"cost\": -1e999}}",
+       }) {
+    SCOPED_TRACE(doc);
+    const Result<Json> parsed = Json::parse(doc);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.error().message.find("number out of range (non-finite)"),
+              std::string::npos)
+        << parsed.error().message;
+  }
+  // The spec front door reports the same diagnostic.
+  const Result<SpecificationGraph> spec = spec_from_string(
+      R"({"name":"x","mappings":[{"latency": 1e999}]})");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.error().message.find("non-finite"), std::string::npos);
+  // Large-but-finite literals still pass the JSON layer (1e309 overflows,
+  // 1e308 does not).
+  EXPECT_TRUE(Json::parse("1e308").ok());
+  EXPECT_FALSE(Json::parse("1e309").ok());
+}
+
 TEST(SpecIoRobust, DeepNestingIsRejectedNotOverflowed) {
   // An adversarial nesting bomb must hit the parser's depth limit and
   // return an error — recursing once per level would blow the stack.

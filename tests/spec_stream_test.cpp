@@ -1,0 +1,208 @@
+// Chunk-size sweep over the streaming specification front door: every
+// example spec and both paper models must parse byte-identically — same
+// canonical serialization, same digest, same lint output — whether the
+// input arrives as one buffer, in chunks of 1..64 bytes, or split at
+// random points.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "explore/checkpoint.hpp"
+#include "lint/lint.hpp"
+#include "spec/paper_models.hpp"
+#include "spec/spec_io.hpp"
+#include "util/byte_reader.hpp"
+
+namespace sdf {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Serves a buffer in randomly sized chunks (1..17 bytes).
+class RandomChunkReader final : public ByteReader {
+ public:
+  RandomChunkReader(std::string_view data, std::uint64_t seed)
+      : data_(data), rng_(seed) {}
+
+  Result<std::size_t> read(char* out, std::size_t capacity) override {
+    std::size_t n = data_.size() - pos_;
+    if (n == 0) return std::size_t{0};
+    n = std::min<std::size_t>(n, 1 + splitmix64(rng_) % 17);
+    n = std::min(n, capacity);
+    data_.copy(out, n, pos_);
+    pos_ += n;
+    return n;
+  }
+
+ private:
+  std::string_view data_;
+  std::uint64_t rng_;
+  std::size_t pos_ = 0;
+};
+
+/// The sweep corpus: every example spec plus both serialized paper models.
+std::vector<std::pair<std::string, std::string>> corpus() {
+  std::vector<std::pair<std::string, std::string>> docs;
+  for (const char* name : {"decoder.json", "settop.json"}) {
+    const std::string path = std::string(SDF_EXAMPLES_DIR) + "/" + name;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.is_open()) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    docs.emplace_back(name, text.str());
+  }
+  Result<std::string> tv = spec_to_string(models::make_tv_decoder_spec());
+  EXPECT_TRUE(tv.ok());
+  docs.emplace_back("tv_decoder (paper model)", std::move(tv).value());
+  Result<std::string> settop = spec_to_string(models::make_settop_spec());
+  EXPECT_TRUE(settop.ok());
+  docs.emplace_back("settop (paper model)", std::move(settop).value());
+  return docs;
+}
+
+struct ParseOutcome {
+  std::string serialized;
+  std::string digest;
+  std::string lint_text;
+};
+
+ParseOutcome outcome_of(const SpecificationGraph& spec) {
+  ParseOutcome out;
+  Result<std::string> text = spec_to_string(spec);
+  EXPECT_TRUE(text.ok());
+  out.serialized = text.ok() ? text.value() : "<serialize failed>";
+  Result<std::string> digest = explore_spec_digest(spec);
+  EXPECT_TRUE(digest.ok());
+  out.digest = digest.ok() ? digest.value() : "<digest failed>";
+  out.lint_text = lint(spec).to_text();
+  return out;
+}
+
+TEST(SpecStream, ChunkSweepIsByteIdentical) {
+  for (const auto& [name, text] : corpus()) {
+    SCOPED_TRACE(name);
+    // Reference: the single-shot front door.
+    Result<SpecificationGraph> reference = spec_from_string(text);
+    ASSERT_TRUE(reference.ok()) << reference.error().message;
+    const ParseOutcome expected = outcome_of(reference.value());
+
+    for (std::size_t chunk = 1; chunk <= 64; ++chunk) {
+      StringViewByteReader reader(text, chunk);
+      Result<SpecificationGraph> streamed = spec_from_stream(reader);
+      ASSERT_TRUE(streamed.ok())
+          << "chunk " << chunk << ": " << streamed.error().message;
+      const ParseOutcome got = outcome_of(streamed.value());
+      ASSERT_EQ(got.serialized, expected.serialized) << "chunk " << chunk;
+      ASSERT_EQ(got.digest, expected.digest) << "chunk " << chunk;
+      ASSERT_EQ(got.lint_text, expected.lint_text) << "chunk " << chunk;
+    }
+  }
+}
+
+TEST(SpecStream, RandomSplitPointsAreByteIdentical) {
+  for (const auto& [name, text] : corpus()) {
+    SCOPED_TRACE(name);
+    Result<SpecificationGraph> reference = spec_from_string(text);
+    ASSERT_TRUE(reference.ok()) << reference.error().message;
+    const ParseOutcome expected = outcome_of(reference.value());
+
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+      RandomChunkReader reader(text, seed);
+      Result<SpecificationGraph> streamed = spec_from_stream(reader);
+      ASSERT_TRUE(streamed.ok())
+          << "seed " << seed << ": " << streamed.error().message;
+      const ParseOutcome got = outcome_of(streamed.value());
+      ASSERT_EQ(got.serialized, expected.serialized) << "seed " << seed;
+      ASSERT_EQ(got.digest, expected.digest) << "seed " << seed;
+      ASSERT_EQ(got.lint_text, expected.lint_text) << "seed " << seed;
+    }
+  }
+}
+
+TEST(SpecStream, DomPathAgreesWithStreamingPath) {
+  // spec_from_json replays the DOM through the same schema reader; the
+  // result must match the pure-streaming parse of the same text.
+  for (const auto& [name, text] : corpus()) {
+    SCOPED_TRACE(name);
+    Result<Json> doc = Json::parse(text);
+    ASSERT_TRUE(doc.ok());
+    Result<SpecificationGraph> via_dom = spec_from_json(doc.value());
+    ASSERT_TRUE(via_dom.ok()) << via_dom.error().message;
+    Result<SpecificationGraph> via_stream = spec_from_string(text);
+    ASSERT_TRUE(via_stream.ok());
+    EXPECT_EQ(outcome_of(via_dom.value()).serialized,
+              outcome_of(via_stream.value()).serialized);
+  }
+}
+
+TEST(SpecStream, ErrorsAreChunkInvariantToo) {
+  const std::vector<std::string> bad = {
+      "",
+      "{",
+      R"({"name":"x"})",
+      R"({"problem":7,"architecture":{"root":{"nodes":[]}}})",
+      R"({"problem":{"root":{"nodes":[],"edges":[{"from":"a","to":"b"}]}}})",
+      std::string(1000, '['),
+  };
+  for (const std::string& text : bad) {
+    SCOPED_TRACE(text.substr(0, 60));
+    Result<SpecificationGraph> reference = spec_from_string(text);
+    ASSERT_FALSE(reference.ok());
+    for (std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{64}}) {
+      StringViewByteReader reader(text, chunk);
+      Result<SpecificationGraph> streamed = spec_from_stream(reader);
+      ASSERT_FALSE(streamed.ok()) << "chunk " << chunk;
+      EXPECT_EQ(streamed.error().message, reference.error().message)
+          << "chunk " << chunk;
+    }
+  }
+}
+
+TEST(SpecStream, IngestCapsGuardTheFrontDoor) {
+  // A nesting bomb (hidden in an ignored subtree, so the schema reader
+  // skips rather than vetoes it) is rejected by the default ingest limits…
+  const std::string bomb = "{\"unknown\": " + std::string(100000, '[');
+  Result<SpecificationGraph> r = spec_from_string(bomb);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("nesting too deep"), std::string::npos);
+
+  // …and callers can tighten the caps further.
+  SpecParseOptions tight;
+  tight.limits.max_total_bytes = 32;
+  Result<SpecificationGraph> capped =
+      spec_from_string(corpus()[0].second, tight);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_NE(capped.error().message.find("max_total_bytes"), std::string::npos);
+}
+
+TEST(SpecStream, SpecFromFileMatchesString) {
+  const auto docs = corpus();
+  const std::string& text = docs[0].second;
+  const std::string path = ::testing::TempDir() + "/spec_stream_test.json";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+  }
+  Result<SpecificationGraph> from_file = spec_from_file(path);
+  ASSERT_TRUE(from_file.ok()) << from_file.error().message;
+  Result<SpecificationGraph> from_string = spec_from_string(text);
+  ASSERT_TRUE(from_string.ok());
+  EXPECT_EQ(outcome_of(from_file.value()).serialized,
+            outcome_of(from_string.value()).serialized);
+
+  Result<SpecificationGraph> missing = spec_from_file(path + ".nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.error().message.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdf
