@@ -99,6 +99,42 @@ for spec in examples/specs/*.json; do
 done
 rm -f /tmp/sdf_front_cache_on.$$ /tmp/sdf_front_cache_off.$$
 
+echo "======== hierarchical solve: front equivalence, hier vs --no-hier ========"
+# The hierarchical path decomposes the binding query; it may change only
+# the node counters, never a verdict.  Fronts with and without --no-hier
+# must be byte-identical on every example spec (settop/decoder exercise the
+# not-decomposable fallback, nested.json the real per-group path), both
+# sequentially and under the parallel engine's shared HierCache.
+for spec in examples/specs/*.json; do
+  for threads in 1 4; do
+    echo "hier front diff (threads=$threads) $spec"
+    "$SDF" explore --json --no-stats --threads "$threads" "$spec" \
+      | extract_front > /tmp/sdf_front_hier_on.$$
+    "$SDF" explore --json --no-stats --threads "$threads" --no-hier "$spec" \
+      | extract_front > /tmp/sdf_front_hier_off.$$
+    diff -u /tmp/sdf_front_hier_on.$$ /tmp/sdf_front_hier_off.$$ || {
+      echo "check_all: hier/no-hier fronts differ for $spec (threads=$threads)" >&2
+      exit 1
+    }
+  done
+done
+# The equivalence above would be vacuous if the hierarchical path silently
+# never engaged: assert it actually decomposes nested.json (sub-solves > 0)
+# and correctly stands down on the paper models (sub-solves == 0).
+"$SDF" explore --json examples/specs/nested.json | python3 -c '
+import json, sys
+stats = json.load(sys.stdin)["stats"]
+assert stats["hier_subsolves"] > 0, "hier path never engaged on nested.json"
+assert stats["solver_nodes"] < stats["solver_calls"], (
+    "per-group memoization should need fewer nodes than queries on nested.json")
+'
+"$SDF" explore --json examples/specs/settop.json | python3 -c '
+import json, sys
+stats = json.load(sys.stdin)["stats"]
+assert stats["hier_subsolves"] == 0, "hier path engaged on a flat-only spec"
+'
+rm -f /tmp/sdf_front_hier_on.$$ /tmp/sdf_front_hier_off.$$
+
 echo "============ static analyzer: sound bounds, identical fronts ============"
 # Two contracts, asserted per example spec:
 #   1. The solved front lies inside the analyzer's whole-spec cost interval

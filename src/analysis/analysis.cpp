@@ -339,7 +339,7 @@ bool SpecAnalysis::relaxation_infeasible(
 }
 
 bool SpecAnalysis::eca_infeasible(const AllocSet& alloc, const Eca& eca) const {
-  const CompiledFlat* flat = cs_.flat(eca.selection);
+  const std::shared_ptr<const CompiledFlat> flat = cs_.flat(eca.selection);
   if (flat == nullptr) return false;  // cannot reason: leave it to the solver
   std::vector<std::pair<std::size_t, std::size_t>> edges;
   edges.reserve(flat->graph.edges.size());

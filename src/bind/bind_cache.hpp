@@ -66,6 +66,90 @@ struct BindCacheStats {
   std::uint64_t publish_retries = 0;
 };
 
+struct HierCacheStats {
+  std::uint64_t subsolves = 0;        ///< group sub-problems sent to the kernel
+  std::uint64_t hits_feasible = 0;    ///< group verdicts from a cached witness
+  std::uint64_t hits_infeasible = 0;  ///< group verdicts from a cached proof
+  std::uint64_t revalidations = 0;    ///< cached-witness rechecks
+  std::uint64_t entries = 0;  ///< frontier entries across all group keys
+};
+
+/// Hierarchical solve path: per-cluster-group sub-solve memoization.
+///
+/// `CompiledSpec::build_decomposition` partitions every cluster's interior
+/// into groups no solver constraint can span (disjoint dependence edges,
+/// mappable units and reconfigurable devices — see `ClusterGroup`).  The
+/// binding verdict of an ECA is therefore the conjunction of its *terminal
+/// groups'* verdicts, and a feasible witness is the disjoint union of the
+/// groups' witnesses.  Terminal groups are found by recursion: a
+/// single-interface group whose selected alternative itself decomposes
+/// recurses into that alternative; every other group is solved as one flat
+/// sub-problem (sliced out of the memoized flattening).
+///
+/// Each group's sub-result is memoized as the same minimal-feasible /
+/// maximal-infeasible antichain frontier the per-ECA `BindCache` keeps —
+/// but keyed by (cluster, group, port-signature digest, selection restricted
+/// to the group's subtree interfaces) and probed with the allocation
+/// *projected* onto the group's unit share, so the sub-result is reused
+/// across every ECA that selects the same sub-tree and every allocation
+/// that agrees on the group's units (the "residual-capacity class").  On
+/// specs with repeated or deeply nested clusters this turns the
+/// multiplicative ECA space into an additive sub-solve space.
+///
+/// Verdict-identical to the flat kernel by the decomposition contract
+/// (DESIGN.md "Hierarchy-native solving"); node counts differ — that is the
+/// point.  Budget/cancel/node-limit aborts are never cached.  Sharded
+/// mutexes; witness copies happen under the shard lock, frontier updates
+/// are build-aside-and-swap.  Like `BindCache` this is derived data and is
+/// deliberately not checkpointed.
+class HierCache {
+ public:
+  /// `shard_count` is clamped to at least one shard.
+  explicit HierCache(std::size_t shard_count = 16);
+  ~HierCache();
+
+  HierCache(const HierCache&) = delete;
+  HierCache& operator=(const HierCache&) = delete;
+
+  /// Drop-in replacement for `solve_binding` on specs where
+  /// `cs.hier_useful()` holds; the caller is expected to fall back to the
+  /// flat path (or `BindCache`) otherwise.  Per-call `stats` fields are
+  /// reset exactly like `solve_binding`; cumulative counters (including
+  /// `hier_subsolves` / `hier_hits`) accumulate.
+  [[nodiscard]] std::optional<Binding> solve(const CompiledSpec& cs,
+                                             const AllocSet& alloc,
+                                             const Eca& eca,
+                                             const SolverOptions& options = {},
+                                             SolverStats* stats = nullptr);
+
+  /// Aggregate counters (approximate under concurrent use).
+  [[nodiscard]] HierCacheStats stats() const;
+
+  /// Total frontier entries (minimal feasible + maximal infeasible).
+  [[nodiscard]] std::uint64_t entries() const {
+    return entries_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every group frontier and zeroes the counters.
+  void clear();
+
+ private:
+  struct Shard;
+
+  Shard& shard_for(const std::vector<std::uint32_t>& key) const;
+  void insert_group(Shard& shard, std::vector<std::uint32_t> key,
+                    const std::shared_ptr<const CompiledFlat>& flat,
+                    const AllocSet& proj, const Binding& witness,
+                    bool feasible);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> subsolves_{0};
+  std::atomic<std::uint64_t> hits_feasible_{0};
+  std::atomic<std::uint64_t> hits_infeasible_{0};
+  std::atomic<std::uint64_t> revalidations_{0};
+  std::atomic<std::uint64_t> entries_{0};
+};
+
 class BindCache {
  public:
   /// `shard_count` is clamped to at least one shard.

@@ -48,7 +48,7 @@ BindingEnumeration enumerate_bindings(const CompiledSpec& cs,
                                       const SolverOptions& options,
                                       std::size_t max_feasible) {
   BindingEnumeration result;
-  const CompiledFlat* flat = cs.flat(eca.selection);
+  const std::shared_ptr<const CompiledFlat> flat = cs.flat(eca.selection);
   if (flat == nullptr) return result;
 
   // Domains: allocated mapping targets per process, straight from the

@@ -52,6 +52,11 @@ std::optional<Implementation> build_implementation(
 
   const SpecAnalysis* analysis =
       options.use_analysis ? options.analysis : nullptr;
+  // The hierarchical path engages only when the spec actually decomposes;
+  // otherwise the flat path runs unchanged (bit-identical stats).
+  HierCache* hier = options.use_hier && cs.hier_useful()
+                        ? options.hier_cache
+                        : nullptr;
 
   for (const Eca& eca : ecas) {
     SolverStats ss;
@@ -66,13 +71,16 @@ std::optional<Implementation> build_implementation(
       continue;
     }
     std::optional<Binding> binding =
-        options.bind_cache != nullptr
+        hier != nullptr ? hier->solve(cs, alloc, eca, options.solver, &ss)
+        : options.bind_cache != nullptr
             ? options.bind_cache->solve(cs, alloc, eca, options.solver, &ss)
             : solve_binding(cs, alloc, eca, options.solver, &ss);
     st.solver_nodes += ss.nodes;
     st.cache_hits_feasible += ss.cache_hits_feasible;
     st.cache_hits_infeasible += ss.cache_hits_infeasible;
     st.cache_revalidations += ss.cache_revalidations;
+    st.hier_subsolves += ss.hier_subsolves;
+    st.hier_hits += ss.hier_hits;
     if (ss.outcome == SolveOutcome::kBudgetExceeded ||
         ss.outcome == SolveOutcome::kCancelled) {
       // The budget is gone: remaining ECAs would abort the same way, and a

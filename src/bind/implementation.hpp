@@ -52,6 +52,7 @@ struct Implementation {
 };
 
 class BindCache;
+class HierCache;
 class SpecAnalysis;
 
 struct ImplementationOptions {
@@ -79,6 +80,18 @@ struct ImplementationOptions {
   /// attach a run-local analyzer when this is true and `analysis` is null.
   /// `--no-analysis` clears it.
   bool use_analysis = true;
+  /// Hierarchical sub-solve cache (not owned; may be null).  When set, and
+  /// `use_hier` holds, and the spec decomposes (`cs.hier_useful()`), every
+  /// ECA query routes through the per-cluster-group path instead of the
+  /// flat kernel / per-ECA cache.  Verdicts, fronts and `solver_calls` are
+  /// identical; `solver_nodes` shrinks.  On specs that do not decompose the
+  /// flat path runs unchanged — bit-identical stats, not merely identical
+  /// verdicts.
+  HierCache* hier_cache = nullptr;
+  /// Engine-level default, mirroring `use_bind_cache`: the explore engines
+  /// attach a run-local `HierCache` when this is true and `hier_cache` is
+  /// null.  `--no-hier` clears it.
+  bool use_hier = true;
 };
 
 struct ImplementationStats {
@@ -96,6 +109,11 @@ struct ImplementationStats {
   /// ECA queries answered "infeasible" by the static relaxation without
   /// searching.  Informational (like the cache counters): not checkpointed.
   std::uint64_t analysis_pruned = 0;
+  /// Hierarchical path: per-cluster-group sub-solves run / group verdicts
+  /// answered from the `HierCache` frontier.  Informational, not
+  /// checkpointed; zero when the spec does not decompose or `--no-hier`.
+  std::uint64_t hier_subsolves = 0;
+  std::uint64_t hier_hits = 0;
   /// Solver calls that were aborted by the run budget (vs. proven
   /// infeasible).  When nonzero the construction is *incomplete*: the
   /// returned implementation (or nullopt) says nothing definitive about

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 
 #include "spec/compiled.hpp"
 
@@ -398,9 +399,21 @@ std::optional<Binding> solve_binding(const CompiledSpec& cs,
   // reused stats object.
   s.aborted = false;
   s.outcome = SolveOutcome::kInfeasible;
-  const CompiledFlat* flat = cs.flat(eca.selection);
+  const std::shared_ptr<const CompiledFlat> flat = cs.flat(eca.selection);
   if (flat == nullptr) return std::nullopt;
   return BindingSearch(cs, alloc, *flat, options, s).run();
+}
+
+std::optional<Binding> solve_binding_flat(const CompiledSpec& cs,
+                                          const AllocSet& alloc,
+                                          const CompiledFlat& flat,
+                                          const SolverOptions& options,
+                                          SolverStats* stats) {
+  SolverStats local;
+  SolverStats& s = stats != nullptr ? *stats : local;
+  s.aborted = false;
+  s.outcome = SolveOutcome::kInfeasible;
+  return BindingSearch(cs, alloc, flat, options, s).run();
 }
 
 std::optional<Binding> solve_binding(const SpecificationGraph& spec,
@@ -413,8 +426,16 @@ std::optional<Binding> solve_binding(const SpecificationGraph& spec,
 bool binding_feasible(const CompiledSpec& cs, const AllocSet& alloc,
                       const Eca& eca, const Binding& binding,
                       const SolverOptions& options) {
-  const CompiledFlat* flat = cs.flat(eca.selection);
+  const std::shared_ptr<const CompiledFlat> flat = cs.flat(eca.selection);
   if (flat == nullptr) return false;
+  return binding_feasible_flat(cs, alloc, *flat, binding, options);
+}
+
+bool binding_feasible_flat(const CompiledSpec& cs, const AllocSet& alloc,
+                           const CompiledFlat& flat_ref,
+                           const Binding& binding,
+                           const SolverOptions& options) {
+  const CompiledFlat* flat = &flat_ref;
   const std::size_t n = flat->graph.vertices.size();
   const std::vector<BindingAssignment>& assignments = binding.assignments();
   if (assignments.size() != n) return false;

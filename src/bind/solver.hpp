@@ -28,6 +28,8 @@
 
 namespace sdf {
 
+struct CompiledFlat;
+
 struct SolverOptions {
   CommModel comm_model = CommModel::kOneHopBus;
   /// Maximum utilization per resource unit (Liu/Layland); <= 0 disables the
@@ -66,6 +68,8 @@ struct SolverStats {
   std::uint64_t cache_hits_feasible = 0;    ///< BindCache witness hits
   std::uint64_t cache_hits_infeasible = 0;  ///< BindCache proof hits
   std::uint64_t cache_revalidations = 0;    ///< cached-witness rechecks
+  std::uint64_t hier_subsolves = 0;  ///< per-cluster group sub-solves run
+  std::uint64_t hier_hits = 0;       ///< group verdicts answered by HierCache
   // Per-call fields: reset at the entry of every solve (`solve_binding` and
   // `BindCache::solve`), so a reused stats object cannot leak a previous
   // call's verdict.
@@ -91,6 +95,16 @@ struct SolverStats {
     const SpecificationGraph& spec, const AllocSet& alloc, const Eca& eca,
     const SolverOptions& options = {}, SolverStats* stats = nullptr);
 
+/// Kernel entry on an explicit flat (sub-)problem: identical search to
+/// `solve_binding`, but over `flat` instead of the memoized flattening of an
+/// ECA's selection.  The hierarchical solve path (bind/bind_cache.hpp,
+/// `HierCache`) uses this to solve one decomposition group at a time; the
+/// group's slice of a flattening is itself a well-formed `CompiledFlat`.
+/// Per-call stats fields are reset exactly like `solve_binding`.
+[[nodiscard]] std::optional<Binding> solve_binding_flat(
+    const CompiledSpec& cs, const AllocSet& alloc, const CompiledFlat& flat,
+    const SolverOptions& options = {}, SolverStats* stats = nullptr);
+
 /// Full feasibility check of `binding` as a witness for (`alloc`, `eca`):
 /// rules 1-3 plus exclusive configurations, the utilization bound and
 /// capacities — everything the solver enforces, in one pass with no search.
@@ -102,6 +116,14 @@ struct SolverStats {
                                     const AllocSet& alloc, const Eca& eca,
                                     const Binding& binding,
                                     const SolverOptions& options = {});
+
+/// `binding_feasible` over an explicit flat (sub-)problem — the revalidation
+/// primitive for cached per-group witnesses on the hierarchical path.
+[[nodiscard]] bool binding_feasible_flat(const CompiledSpec& cs,
+                                         const AllocSet& alloc,
+                                         const CompiledFlat& flat,
+                                         const Binding& binding,
+                                         const SolverOptions& options = {});
 
 /// Utilization of each unit under `binding`: sum over bound processes of
 /// timing_weight * latency / period (processes without a period contribute

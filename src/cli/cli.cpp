@@ -15,6 +15,7 @@
 #include "flex/reduce.hpp"
 #include "flex/activatability.hpp"
 #include "flex/flexibility.hpp"
+#include "gen/presets.hpp"
 #include "gen/spec_generator.hpp"
 #include "graph/dot.hpp"
 #include "lint/lint.hpp"
@@ -295,6 +296,16 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
                     "relaxation proves infeasible (--no-analysis solves "
                     "every ECA; the front and all checkpointed counters are "
                     "identical either way)");
+  flags.define_bool("hier", true,
+                    "hierarchical solve path: per-cluster-group sub-solve "
+                    "memoization on specs that decompose (--no-hier always "
+                    "uses the flat kernel; the front is identical either "
+                    "way, only solver_nodes differs)");
+  flags.define("flat-cache-entries", "1024",
+               "flatten-cache LRU budget: live entries (0 = unlimited)");
+  flags.define("flat-cache-mb", "64",
+               "flatten-cache LRU budget: approximate payload megabytes "
+               "(0 = unlimited)");
   flags.define_bool("analysis-bound", false,
                     "also prune candidate allocations and stream subtrees "
                     "via the analyzer's relaxation (sound — same front — "
@@ -344,7 +355,12 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
   options.prune_dominated_allocations = flags.get_bool("dominance-filter");
   options.implementation.use_bind_cache = flags.get_bool("bind-cache");
   options.implementation.use_analysis = flags.get_bool("analysis");
+  options.implementation.use_hier = flags.get_bool("hier");
   options.use_analysis_bound = flags.get_bool("analysis-bound");
+  spec.value().compiled().set_flat_cache_budget(
+      static_cast<std::size_t>(std::max<long>(0, flags.get_int("flat-cache-entries"))),
+      static_cast<std::size_t>(std::max<long>(0, flags.get_int("flat-cache-mb")))
+          << 20);
 
   // Second preflight stage, now that the solver options are known: the
   // analyzer's relaxation can prove the whole front empty in milliseconds,
@@ -527,7 +543,11 @@ int cmd_explore(const std::vector<std::string>& raw, std::ostream& out,
         << " cache_hits_infeasible=" << stats.cache_hits_infeasible
         << " cache_revalidations=" << stats.cache_revalidations
         << " cache_entries=" << stats.cache_entries
-        << " analysis_pruned=" << stats.analysis_pruned;
+        << " analysis_pruned=" << stats.analysis_pruned
+        << " hier_subsolves=" << stats.hier_subsolves
+        << " hier_hits=" << stats.hier_hits
+        << " flat_cache_entries=" << stats.flat_cache_entries
+        << " flat_cache_evictions=" << stats.flat_cache_evictions;
     if (stats.threads != 0) {
       out << " threads=" << stats.threads << " bands=" << stats.bands
           << " band_capacity_last=" << stats.band_capacity_last;
@@ -725,22 +745,69 @@ int cmd_generate(const std::vector<std::string>& raw, std::ostream& out,
                  std::ostream& err) {
   Flags flags;
   flags.define("seed", "1", "generator seed");
+  flags.define("preset", "",
+               "platform preset: settop-box|automotive-ecu|baseband-dsp|"
+               "nested-s|nested-m|nested-xl (overrides the structural flags)");
   flags.define("applications", "3", "top-level alternatives");
   flags.define("processors", "2", "general-purpose processors");
   flags.define("accelerators", "2", "specialized accelerators");
   flags.define("fpga-configs", "2", "reconfigurable-device configurations");
+  flags.define("tiles", "0",
+               "nested-tile mode: independent root interfaces (0 = off; see "
+               "also --preset nested-*)");
+  flags.define("tile-depth", "3", "nested-tile mode: hierarchy depth");
+  flags.define("tile-processors", "2",
+               "nested-tile mode: local cpus per tile per depth level");
+  flags.define("tile-alternatives", "2",
+               "nested-tile mode: repeated templates per interface");
+  flags.define("tile-processes", "2",
+               "nested-tile mode: chain length per template");
+  flags.define_bool("tile-bus", false,
+                    "nested-tile mode: add one global bus across all cpus");
   if (Status s = flags.parse(raw); !s.ok()) {
     err << s.error().message << "\nflags:\n" << flags.usage();
     return 2;
   }
   GeneratorParams params;
   params.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  params.applications = static_cast<std::size_t>(flags.get_int("applications"));
-  params.processors = static_cast<std::size_t>(flags.get_int("processors"));
-  params.accelerators =
-      static_cast<std::size_t>(flags.get_int("accelerators"));
-  params.fpga_configs =
-      static_cast<std::size_t>(flags.get_int("fpga-configs"));
+  if (const std::string preset = flags.get("preset"); !preset.empty()) {
+    static constexpr PlatformPreset kAll[] = {
+        PlatformPreset::kSetTopBox, PlatformPreset::kAutomotiveEcu,
+        PlatformPreset::kBasebandDsp, PlatformPreset::kNestedS,
+        PlatformPreset::kNestedM, PlatformPreset::kNestedXl};
+    bool found = false;
+    for (const PlatformPreset p : kAll) {
+      if (preset == preset_name(p)) {
+        params = preset_params(p, params.seed);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      err << "generate: unknown preset '" << preset << "'\n";
+      return 2;
+    }
+  } else {
+    params.applications =
+        static_cast<std::size_t>(flags.get_int("applications"));
+    params.processors = static_cast<std::size_t>(flags.get_int("processors"));
+    params.accelerators =
+        static_cast<std::size_t>(flags.get_int("accelerators"));
+    params.fpga_configs =
+        static_cast<std::size_t>(flags.get_int("fpga-configs"));
+    params.tiles = static_cast<std::size_t>(flags.get_int("tiles"));
+    if (params.tiles > 0) {
+      params.max_depth = static_cast<std::size_t>(
+          std::max<long>(1, flags.get_int("tile-depth")));
+    }
+    params.tile_processors =
+        static_cast<std::size_t>(flags.get_int("tile-processors"));
+    params.tile_alternatives =
+        static_cast<std::size_t>(flags.get_int("tile-alternatives"));
+    params.tile_processes =
+        static_cast<std::size_t>(flags.get_int("tile-processes"));
+    params.tile_bus = flags.get_bool("tile-bus");
+  }
   const Result<std::string> text = spec_to_string(generate_spec(params));
   if (!text.ok()) {
     err << text.error().message << '\n';

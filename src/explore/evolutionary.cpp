@@ -57,6 +57,9 @@ EaResult explore_evolutionary(const SpecificationGraph& spec,
   BindCache bind_cache;
   if (eval_impl.use_bind_cache && eval_impl.bind_cache == nullptr)
     eval_impl.bind_cache = &bind_cache;
+  HierCache hier_cache;
+  if (eval_impl.use_hier && eval_impl.hier_cache == nullptr)
+    eval_impl.hier_cache = &hier_cache;
   bool stopped = false;  // budget tripped: wind down, keep the archive
 
   auto evaluate = [&](const AllocSet& genome) {

@@ -111,6 +111,11 @@ ExploreResult explore(const SpecificationGraph& spec,
   BindCache bind_cache;
   if (eval_impl.use_bind_cache && eval_impl.bind_cache == nullptr)
     eval_impl.bind_cache = &bind_cache;
+  // Run-local hierarchical sub-solve cache (same lifecycle as the binding
+  // cache; engages only on specs that decompose).
+  HierCache hier_cache;
+  if (eval_impl.use_hier && eval_impl.hier_cache == nullptr)
+    eval_impl.hier_cache = &hier_cache;
   // Run-local static analyzer: sound infeasibility proofs skip solver
   // searches without changing verdicts (see bind/implementation.hpp).
   std::optional<SpecAnalysis> analysis_store;
@@ -240,6 +245,8 @@ ExploreResult explore(const SpecificationGraph& spec,
     result.stats.cache_hits_infeasible += istats.cache_hits_infeasible;
     result.stats.cache_revalidations += istats.cache_revalidations;
     result.stats.analysis_pruned += istats.analysis_pruned;
+    result.stats.hier_subsolves += istats.hier_subsolves;
+    result.stats.hier_hits += istats.hier_hits;
 
     if (istats.budget_exceeded()) {
       // Abandoned mid-evaluation: roll the candidate's charges back (the
@@ -321,6 +328,10 @@ ExploreResult explore(const SpecificationGraph& spec,
 
   if (eval_impl.bind_cache != nullptr)
     result.stats.cache_entries = eval_impl.bind_cache->entries();
+  if (eval_impl.hier_cache != nullptr)
+    result.stats.cache_entries += eval_impl.hier_cache->entries();
+  result.stats.flat_cache_entries = cs.flat_cache_entries();
+  result.stats.flat_cache_evictions = cs.flat_cache_evictions();
 
   const auto t1 = std::chrono::steady_clock::now();
   result.stats.wall_seconds =

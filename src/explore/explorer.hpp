@@ -118,6 +118,16 @@ struct ExploreStats {
   /// stream subtrees) answered by the static relaxation without searching.
   /// Informational like the cache counters.
   std::uint64_t analysis_pruned = 0;
+  // Hierarchical-path counters (informational, like the cache counters):
+  // per-cluster-group sub-solves run, group verdicts answered from the
+  // HierCache frontier.  Zero when the spec does not decompose or under
+  // `--no-hier`.
+  std::uint64_t hier_subsolves = 0;
+  std::uint64_t hier_hits = 0;
+  // Flatten-cache occupancy at the end of the run: live entries and
+  // cumulative LRU evictions under the entry/byte budget.
+  std::uint64_t flat_cache_entries = 0;
+  std::uint64_t flat_cache_evictions = 0;
   bool exhausted = false;              ///< stream ran dry (vs. early stop)
   double wall_seconds = 0.0;
 

@@ -33,6 +33,9 @@ UpgradeResult explore_upgrades(const SpecificationGraph& spec,
   BindCache bind_cache;
   if (eval_impl.use_bind_cache && eval_impl.bind_cache == nullptr)
     eval_impl.bind_cache = &bind_cache;
+  HierCache hier_cache;
+  if (eval_impl.use_hier && eval_impl.hier_cache == nullptr)
+    eval_impl.hier_cache = &hier_cache;
 
   ImplementationOptions base_impl = eval_impl;
   base_impl.solver.budget = nullptr;  // the baseline costs no run budget
@@ -97,6 +100,9 @@ UpgradeResult explore_upgrades(const SpecificationGraph& spec,
     result.stats.cache_hits_feasible += istats.cache_hits_feasible;
     result.stats.cache_hits_infeasible += istats.cache_hits_infeasible;
     result.stats.cache_revalidations += istats.cache_revalidations;
+    result.stats.analysis_pruned += istats.analysis_pruned;
+    result.stats.hier_subsolves += istats.hier_subsolves;
+    result.stats.hier_hits += istats.hier_hits;
     if (istats.budget_exceeded()) {
       // Abandoned mid-evaluation: this candidate is unknown, not infeasible.
       ++result.stats.budget_abandoned;
@@ -126,6 +132,10 @@ UpgradeResult explore_upgrades(const SpecificationGraph& spec,
   result.stats.frontier_remaining = stream.frontier_size();
   if (eval_impl.bind_cache != nullptr)
     result.stats.cache_entries = eval_impl.bind_cache->entries();
+  if (eval_impl.hier_cache != nullptr)
+    result.stats.cache_entries += eval_impl.hier_cache->entries();
+  result.stats.flat_cache_entries = cs.flat_cache_entries();
+  result.stats.flat_cache_evictions = cs.flat_cache_evictions();
 
   const auto t1 = std::chrono::steady_clock::now();
   result.stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();

@@ -70,6 +70,8 @@ struct BandCandidate {
   std::uint64_t cache_hits_infeasible = 0;
   std::uint64_t cache_revalidations = 0;
   std::uint64_t analysis_pruned = 0;
+  std::uint64_t hier_subsolves = 0;
+  std::uint64_t hier_hits = 0;
   double filter_seconds = 0.0;
   double implement_seconds = 0.0;
 };
@@ -149,6 +151,8 @@ void evaluate_candidate(const CompiledSpec& cs,
   cand.cache_hits_infeasible = istats.cache_hits_infeasible;
   cand.cache_revalidations = istats.cache_revalidations;
   cand.analysis_pruned = istats.analysis_pruned;
+  cand.hier_subsolves = istats.hier_subsolves;
+  cand.hier_hits = istats.hier_hits;
   cand.implement_seconds = seconds_since(t1);
   if (istats.budget_exceeded()) {
     cand.budget_aborted = true;
@@ -210,6 +214,12 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
   BindCache bind_cache;
   if (eval_impl.use_bind_cache && eval_impl.bind_cache == nullptr)
     eval_impl.bind_cache = &bind_cache;
+  // One hierarchical sub-solve cache shared by all band workers (sharded
+  // mutexes; it only skips work whose verdict is already proven, so the
+  // merged front stays bit-identical whatever the thread schedule).
+  HierCache hier_cache;
+  if (eval_impl.use_hier && eval_impl.hier_cache == nullptr)
+    eval_impl.hier_cache = &hier_cache;
   // Run-local static analyzer, shared read-only by all band workers (all
   // queries are const; see analysis/analysis.hpp).
   std::optional<SpecAnalysis> analysis_store;
@@ -405,6 +415,8 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
       result.stats.cache_hits_infeasible += cand.cache_hits_infeasible;
       result.stats.cache_revalidations += cand.cache_revalidations;
       result.stats.analysis_pruned += cand.analysis_pruned;
+      result.stats.hier_subsolves += cand.hier_subsolves;
+      result.stats.hier_hits += cand.hier_hits;
       result.stats.filter_cpu_seconds += cand.filter_seconds;
       result.stats.implement_cpu_seconds += cand.implement_seconds;
     }
@@ -511,6 +523,10 @@ ExploreResult parallel_explore(const SpecificationGraph& spec,
 
   if (eval_impl.bind_cache != nullptr)
     result.stats.cache_entries = eval_impl.bind_cache->entries();
+  if (eval_impl.hier_cache != nullptr)
+    result.stats.cache_entries += eval_impl.hier_cache->entries();
+  result.stats.flat_cache_entries = cs.flat_cache_entries();
+  result.stats.flat_cache_evictions = cs.flat_cache_evictions();
 
   result.stats.wall_seconds = seconds_since(t0);
   return result;

@@ -70,6 +70,16 @@ Json explore_result_to_json(const SpecificationGraph& spec,
       Json(static_cast<double>(result.stats.cache_revalidations)));
   stats.emplace_back("cache_entries",
                      Json(static_cast<double>(result.stats.cache_entries)));
+  stats.emplace_back("hier_subsolves",
+                     Json(static_cast<double>(result.stats.hier_subsolves)));
+  stats.emplace_back("hier_hits",
+                     Json(static_cast<double>(result.stats.hier_hits)));
+  stats.emplace_back(
+      "flat_cache_entries",
+      Json(static_cast<double>(result.stats.flat_cache_entries)));
+  stats.emplace_back(
+      "flat_cache_evictions",
+      Json(static_cast<double>(result.stats.flat_cache_evictions)));
   stats.emplace_back("wall_seconds", Json(result.stats.wall_seconds));
   stats.emplace_back("index_build_seconds",
                      Json(result.stats.index_build_seconds));

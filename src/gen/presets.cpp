@@ -7,6 +7,9 @@ const char* preset_name(PlatformPreset preset) {
     case PlatformPreset::kSetTopBox: return "settop-box";
     case PlatformPreset::kAutomotiveEcu: return "automotive-ecu";
     case PlatformPreset::kBasebandDsp: return "baseband-dsp";
+    case PlatformPreset::kNestedS: return "nested-s";
+    case PlatformPreset::kNestedM: return "nested-m";
+    case PlatformPreset::kNestedXl: return "nested-xl";
   }
   return "?";
 }
@@ -59,6 +62,36 @@ GeneratorParams preset_params(PlatformPreset preset, std::uint64_t seed) {
       p.bus_density = 0.7;
       p.accel_mapping_prob = 0.6;
       p.fpga_mapping_prob = 0.5;
+      p.timed_app_prob = 0.5;
+      break;
+    case PlatformPreset::kNestedS:
+      // 5 tiles x 4 levels x 5 cpus = 100 functional units (+ buses).
+      p.tiles = 5;
+      p.max_depth = 4;
+      p.tile_processors = 5;
+      p.tile_alternatives = 2;
+      p.tile_processes = 2;
+      p.tile_bus = true;
+      p.timed_app_prob = 0.5;
+      break;
+    case PlatformPreset::kNestedM:
+      // 8 tiles x 6 levels x 6 cpus = 288 functional units (+ buses).
+      p.tiles = 8;
+      p.max_depth = 6;
+      p.tile_processors = 6;
+      p.tile_alternatives = 2;
+      p.tile_processes = 2;
+      p.tile_bus = true;
+      p.timed_app_prob = 0.5;
+      break;
+    case PlatformPreset::kNestedXl:
+      // 12 tiles x 8 levels x 10 cpus = 960 functional units (+ buses).
+      p.tiles = 12;
+      p.max_depth = 8;
+      p.tile_processors = 10;
+      p.tile_alternatives = 2;
+      p.tile_processes = 2;
+      p.tile_bus = true;
       p.timed_app_prob = 0.5;
       break;
   }

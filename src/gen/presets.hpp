@@ -20,6 +20,16 @@ enum class PlatformPreset {
   /// Baseband / DSP farm: few applications with deep alternative
   /// hierarchies, many accelerators and FPGA configurations.
   kBasebandDsp,
+  /// Deep-hierarchy tile family (`preset_nested_*`): independent tiles of
+  /// repeated cluster templates over disjoint per-level processor pools —
+  /// the workload the hierarchical solve path turns from multiplicative
+  /// (per-ECA flat solves) into additive (per-group sub-solves).  Small:
+  /// ~100 units, depth 4.
+  kNestedS,
+  /// Medium nested-tile instance: ~300 units, depth 6.
+  kNestedM,
+  /// Large nested-tile instance: ~1000 units, depth 8.
+  kNestedXl,
 };
 
 [[nodiscard]] const char* preset_name(PlatformPreset preset);

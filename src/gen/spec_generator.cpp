@@ -16,6 +16,10 @@ class Generator {
       : params_(params), rng_(params.seed) {}
 
   SpecificationGraph run() {
+    if (params_.tiles > 0) {
+      build_nested();
+      return builder_.build();
+    }
     build_architecture();
     build_problem();
     return builder_.build();
@@ -121,6 +125,72 @@ class Generator {
     }
   }
 
+  // ---- nested-tile mode -----------------------------------------------------
+
+  /// Architecture: one processor pool (with a local bus) per tile per depth
+  /// level; pools are never shared, so no two tiles — and no chain and its
+  /// nested interface — couple through a unit.
+  void build_nested() {
+    pools_.assign(params_.tiles,
+                  std::vector<std::vector<NodeId>>(params_.max_depth));
+    std::vector<NodeId> all_cpus;
+    for (std::size_t t = 0; t < params_.tiles; ++t) {
+      for (std::size_t d = 0; d < params_.max_depth; ++d) {
+        std::vector<NodeId>& pool = pools_[t][d];
+        for (std::size_t k = 0; k < params_.tile_processors; ++k) {
+          pool.push_back(builder_.resource(
+              strprintf("t%zud%zucpu%zu", t, d, k), rand_cost()));
+          all_cpus.push_back(pool.back());
+        }
+        if (pool.size() > 1)
+          builder_.bus(strprintf("t%zud%zubus", t, d),
+                       std::floor(rng_.uniform_double(5.0, 30.0)), pool);
+      }
+    }
+    if (params_.tile_bus && all_cpus.size() > 1)
+      builder_.bus("gbus", std::floor(rng_.uniform_double(5.0, 30.0)),
+                   all_cpus);
+
+    // Problem: independent root interfaces, one per tile.
+    for (std::size_t t = 0; t < params_.tiles; ++t) {
+      const NodeId iface = builder_.interface(strprintf("tile%zu", t));
+      const double period =
+          rng_.chance(params_.timed_app_prob)
+              ? std::floor(rng_.uniform_double(params_.period_min,
+                                               params_.period_max))
+              : 0.0;
+      fill_tile(iface, t, 0, period);
+    }
+  }
+
+  /// Refines `iface` with `tile_alternatives` repeated templates: a process
+  /// chain on the tile's depth-`depth` pool plus, depth permitting, one
+  /// nested interface.  The nested interface is intentionally NOT wired to
+  /// the chain, so each template decomposes into a chain group and a
+  /// single-interface group.
+  void fill_tile(NodeId iface, std::size_t tile, std::size_t depth,
+                 double period) {
+    for (std::size_t c = 0; c < params_.tile_alternatives; ++c) {
+      const ClusterId sub = builder_.alternative(
+          iface, strprintf("t%zuc%zu", tile, next_cluster_id_++));
+      NodeId prev;
+      for (std::size_t i = 0; i < params_.tile_processes; ++i) {
+        const NodeId p = builder_.process(
+            strprintf("p%zu", next_process_id_++), sub);
+        for (NodeId cpu : pools_[tile][depth])
+          builder_.map(p, cpu, rand_latency());
+        if (period > 0.0) builder_.timing(p, period);
+        if (prev.valid()) builder_.depends(prev, p);
+        prev = p;
+      }
+      if (depth + 1 < params_.max_depth) {
+        const NodeId nested = builder_.interface(
+            strprintf("t%zuif%zu", tile, next_interface_id_++), sub);
+        fill_tile(nested, tile, depth + 1, period);
+      }
+    }
+  }
+
   void build_problem() {
     const NodeId iapp = builder_.interface("apps");
     for (std::size_t a = 0; a < params_.applications; ++a) {
@@ -139,6 +209,7 @@ class Generator {
   Rng rng_;
   SpecBuilder builder_{"synthetic"};
   std::vector<NodeId> cpus_;
+  std::vector<std::vector<std::vector<NodeId>>> pools_;  // [tile][depth]
   std::vector<NodeId> accels_;
   NodeId fpga_;
   std::vector<NodeId> configs_;

@@ -40,6 +40,24 @@ struct GeneratorParams {
   double accel_mapping_prob = 0.4;  ///< process mappable onto an accelerator
   double fpga_mapping_prob = 0.25;  ///< process mappable onto a config
 
+  // Nested-tile mode (the `preset_nested_*` family).  When `tiles > 0` the
+  // flat knobs above are ignored and the generator emits `tiles`
+  // independent root interfaces, each refined by `tile_alternatives`
+  // repeated cluster templates: a chain of `tile_processes` processes
+  // mapped onto a tile-local processor pool, plus (down to `max_depth`) a
+  // nested interface refined the same way.  Tiles share no units, no edges
+  // and no devices, and the nested interface is deliberately not wired to
+  // the chain — the spec therefore decomposes at every level, which is the
+  // workload the hierarchical solve path is built for (and the flat kernel
+  // re-solves from scratch per ECA).
+  std::size_t tiles = 0;
+  std::size_t tile_alternatives = 2;  ///< repeated templates per interface
+  std::size_t tile_processes = 2;     ///< chain length per template
+  std::size_t tile_processors = 2;    ///< local cpus per tile per depth level
+  /// Also wire one global bus across every processor (exercises the
+  /// hierarchical path's communication-mask projection).
+  bool tile_bus = false;
+
   // Annotations.
   double cost_min = 50.0, cost_max = 300.0;
   double latency_min = 10.0, latency_max = 100.0;

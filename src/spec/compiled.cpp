@@ -1,6 +1,7 @@
 #include "spec/compiled.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <utility>
 
 namespace sdf {
@@ -130,8 +131,10 @@ CompiledSpec::CompiledSpec(const SpecificationGraph& spec) : spec_(spec) {
   comm_neighbor_tops_.resize(nu);
   tops_direct_.assign(nu, DynBitset(nu));
   comm_adj_.assign(nu, DynBitset(nu));
+  comm_units_ = DynBitset(nu);
   for (const AllocUnit& a : units_) {
     const std::size_t i = a.id.index();
+    if (a.is_comm) comm_units_.set(i);
     for (const AllocUnit& b : units_) {
       if (a.top == b.top || arch_adj[a.top.index()].test(b.top.index()))
         tops_direct_[i].set(b.id.index());
@@ -143,6 +146,159 @@ CompiledSpec::CompiledSpec(const SpecificationGraph& spec) : spec_(spec) {
         comm_neighbor_tops_[i].push_back(NodeId{n});
       });
   }
+
+  build_decomposition();
+}
+
+void CompiledSpec::build_decomposition() {
+  const HierarchicalGraph& problem = spec_.problem();
+  const std::size_t np = problem.node_count();
+  const std::size_t nc = problem.cluster_count();
+  const std::size_t nu = units_.size();
+  const std::size_t nslots = iface_cost_.size();
+
+  // ---- per-node subtree closures (over all alternatives), bottom-up -------
+  // `dev` tracks the dense device slots (`unit_iface_slot_`) reachable in a
+  // subtree: two subtrees touching configurations of the same device couple
+  // through the exclusive-configuration rule even with disjoint unit sets.
+  std::vector<DynBitset> sub_nodes(np, DynBitset(np));
+  std::vector<DynBitset> sub_ifaces(np, DynBitset(np));
+  std::vector<DynBitset> sub_units(np, DynBitset(nu));
+  std::vector<DynBitset> sub_dev(np, DynBitset(nslots));
+  std::vector<std::uint8_t> done(np, 0);
+
+  // Explicit DFS keeps arbitrarily deep hierarchies off the call stack.
+  const std::function<void(NodeId)> close_node = [&](NodeId id) {
+    const std::size_t i = id.index();
+    if (done[i] != 0) return;
+    done[i] = 1;  // hierarchy is a forest: no cycles, set-before-recurse ok
+    const Node& n = problem.node(id);
+    sub_nodes[i].set(i);
+    if (!n.is_interface()) {
+      if (i < reach_bits_.size()) {
+        sub_units[i] |= reach_bits_[i];
+        reach_bits_[i].for_each([&](std::size_t u) {
+          const std::size_t slot = unit_iface_slot_[u];
+          if (slot != npos) sub_dev[i].set(slot);
+        });
+      }
+      return;
+    }
+    sub_ifaces[i].set(i);
+    for (const ClusterId cid : n.clusters) {
+      for (const NodeId child : problem.cluster(cid).nodes) {
+        close_node(child);
+        sub_nodes[i] |= sub_nodes[child.index()];
+        sub_ifaces[i] |= sub_ifaces[child.index()];
+        sub_units[i] |= sub_units[child.index()];
+        sub_dev[i] |= sub_dev[child.index()];
+      }
+    }
+  };
+  for (std::size_t i = 0; i < np; ++i) close_node(NodeId{i});
+
+  // ---- per-cluster union-find over direct nodes ----------------------------
+  decomposition_.assign(nc, ClusterDecomposition{});
+  for (std::size_t ci = 0; ci < nc; ++ci) {
+    const Cluster& cluster = problem.cluster(ClusterId{ci});
+    const std::size_t k = cluster.nodes.size();
+    if (k == 0) continue;
+
+    std::vector<std::size_t> parent(k);
+    for (std::size_t i = 0; i < k; ++i) parent[i] = i;
+    const std::function<std::size_t(std::size_t)> find =
+        [&](std::size_t x) -> std::size_t {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    const auto unite = [&](std::size_t a, std::size_t b) {
+      parent[find(a)] = find(b);
+    };
+
+    std::map<NodeId, std::size_t> pos;
+    for (std::size_t i = 0; i < k; ++i) pos[cluster.nodes[i]] = i;
+
+    // (a) dependence edges of this cluster couple their endpoints.
+    for (const EdgeId eid : cluster.edges) {
+      const Edge& e = problem.edge(eid);
+      const auto fa = pos.find(e.from);
+      const auto fb = pos.find(e.to);
+      if (fa != pos.end() && fb != pos.end()) unite(fa->second, fb->second);
+    }
+    // (b) shared mappable units couple via utilization/capacity sums;
+    // (c) shared devices couple via exclusive configurations.
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t ni = cluster.nodes[i].index();
+      for (std::size_t j = 0; j < i; ++j) {
+        const std::size_t nj = cluster.nodes[j].index();
+        if (sub_units[ni].intersects(sub_units[nj]) ||
+            sub_dev[ni].intersects(sub_dev[nj]))
+          unite(i, j);
+      }
+    }
+
+    // ---- materialize groups, ascending by smallest member ------------------
+    std::map<std::size_t, std::size_t> group_of_root;
+    ClusterDecomposition& d = decomposition_[ci];
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t r = find(i);
+      const auto [it, inserted] = group_of_root.emplace(r, d.groups.size());
+      if (inserted) {
+        d.groups.push_back(ClusterGroup{});
+        ClusterGroup& g = d.groups.back();
+        g.subtree_nodes = DynBitset(np);
+        g.subtree_interfaces = DynBitset(np);
+        g.subtree_units = DynBitset(nu);
+      }
+      ClusterGroup& g = d.groups[it->second];
+      const NodeId item = cluster.nodes[i];
+      g.items.push_back(item);
+      g.subtree_nodes |= sub_nodes[item.index()];
+      g.subtree_interfaces |= sub_ifaces[item.index()];
+      g.subtree_units |= sub_units[item.index()];
+    }
+    for (ClusterGroup& g : d.groups) {
+      g.single_interface =
+          g.items.size() == 1 && problem.node(g.items[0]).is_interface();
+      // FNV-1a over the group's static port signature.
+      std::uint64_t h = 1469598103934665603ull;
+      const auto mix = [&h](std::uint64_t w) {
+        h ^= w;
+        h *= 1099511628211ull;
+      };
+      mix(g.items.size());
+      for (const NodeId item : g.items) {
+        const Node& n = problem.node(item);
+        mix(n.is_interface() ? 1 : 2);
+        if (!n.is_interface()) continue;
+        mix(n.ports.size());
+        for (const PortId pid : n.ports) {
+          const Port& port = problem.port(pid);
+          mix(port.direction == PortDirection::kIn ? 3 : 4);
+          mix(port.mapping.size());
+        }
+        mix(n.clusters.size());
+      }
+      g.signature = h;
+    }
+  }
+
+  // ---- usefulness: can the hierarchical path ever beat the flat kernel? ---
+  std::vector<std::uint8_t> state(nc, 0);  // 0 = unvisited, 1 = done
+  const std::function<bool(ClusterId)> useful = [&](ClusterId cid) -> bool {
+    ClusterDecomposition& d = decomposition_[cid.index()];
+    if (state[cid.index()] != 0) return d.useful;
+    state[cid.index()] = 1;
+    if (d.groups.size() > 1) {
+      d.useful = true;
+    } else if (d.groups.size() == 1 && d.groups[0].single_interface) {
+      for (const ClusterId alt : problem.node(d.groups[0].items[0]).clusters)
+        if (useful(alt)) d.useful = true;
+    }
+    return d.useful;
+  };
+  for (std::size_t ci = 0; ci < nc; ++ci) useful(ClusterId{ci});
+  hier_useful_ = useful(problem.root());
 }
 
 double CompiledSpec::allocation_cost(const AllocSet& alloc) const {
@@ -176,17 +332,58 @@ double CompiledSpec::allocation_cost(const AllocSet& alloc) const {
   return cost;
 }
 
-const CompiledFlat* CompiledSpec::flat(
+namespace {
+
+/// Approximate heap payload of one flatten-cache entry, for the byte budget.
+std::size_t flat_entry_bytes(const CompiledFlat* flat) {
+  if (flat == nullptr) return sizeof(void*);
+  std::size_t bytes = sizeof(CompiledFlat);
+  bytes += flat->graph.vertices.capacity() * sizeof(NodeId);
+  bytes += flat->graph.edges.capacity() * sizeof(std::pair<NodeId, NodeId>);
+  bytes += flat->graph.active_clusters.capacity() * sizeof(ClusterId);
+  bytes += flat->graph.active_interfaces.capacity() * sizeof(NodeId);
+  bytes += flat->index_of.capacity() * sizeof(std::size_t);
+  bytes += flat->adj.capacity() * sizeof(std::vector<std::size_t>);
+  for (const std::vector<std::size_t>& n : flat->adj)
+    bytes += n.capacity() * sizeof(std::size_t);
+  bytes += (flat->demand.capacity() + flat->footprint.capacity()) *
+           sizeof(double);
+  return bytes;
+}
+
+}  // namespace
+
+void CompiledSpec::evict_flat_locked() const {
+  while (flat_cache_.size() > 1 &&
+         ((flat_max_entries_ != 0 && flat_cache_.size() > flat_max_entries_) ||
+          (flat_max_bytes_ != 0 && flat_bytes_ > flat_max_bytes_))) {
+    const FlatKey* victim = lru_.back();
+    const auto it = flat_cache_.find(*victim);
+    SDF_CHECK(it != flat_cache_.end(), "flatten-cache LRU key without entry");
+    flat_bytes_ -= it->second.bytes;
+    lru_.pop_back();
+    flat_cache_.erase(it);
+    ++flat_evictions_;
+  }
+}
+
+std::shared_ptr<const CompiledFlat> CompiledSpec::flat(
     const ClusterSelection& selection) const {
   FlatKey key = selection.key();
-  const std::lock_guard<std::mutex> lock(flat_mutex_);
-  if (const auto it = flat_cache_.find(key); it != flat_cache_.end())
-    return it->second.get();
+  {
+    const std::lock_guard<std::mutex> lock(flat_mutex_);
+    if (const auto it = flat_cache_.find(key); it != flat_cache_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru);  // move to front
+      return it->second.flat;
+    }
+  }
 
+  // Build outside the lock: flattening is pure, and a concurrent duplicate
+  // build is cheaper than serializing every miss.
   Result<FlatGraph> fg = flatten(spec_.problem(), selection);
-  std::unique_ptr<CompiledFlat> entry;  // null memoizes a failed flattening
+  std::shared_ptr<CompiledFlat> entry;  // null memoizes a failed flattening
   if (fg.ok()) {
-    entry = std::make_unique<CompiledFlat>();
+    entry = std::make_shared<CompiledFlat>();
     entry->graph = std::move(fg.value());
     const std::vector<NodeId>& vertices = entry->graph.vertices;
     entry->index_of.assign(spec_.problem().node_count(), CompiledFlat::npos);
@@ -208,8 +405,40 @@ const CompiledFlat* CompiledSpec::flat(
       entry->footprint[i] = footprint_[vertices[i].index()];
     }
   }
-  return flat_cache_.emplace(std::move(key), std::move(entry))
-      .first->second.get();
+
+  const std::lock_guard<std::mutex> lock(flat_mutex_);
+  const auto [it, inserted] = flat_cache_.try_emplace(std::move(key));
+  if (!inserted) {
+    // A concurrent miss beat us to the publish; keep the winner's entry so
+    // every caller observes one canonical flattening per selection.
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return it->second.flat;
+  }
+  it->second.flat = std::move(entry);
+  it->second.bytes = flat_entry_bytes(it->second.flat.get());
+  lru_.push_front(&it->first);
+  it->second.lru = lru_.begin();
+  flat_bytes_ += it->second.bytes;
+  evict_flat_locked();
+  return it->second.flat;
+}
+
+void CompiledSpec::set_flat_cache_budget(std::size_t max_entries,
+                                         std::size_t max_bytes) const {
+  const std::lock_guard<std::mutex> lock(flat_mutex_);
+  flat_max_entries_ = max_entries;
+  flat_max_bytes_ = max_bytes;
+  evict_flat_locked();
+}
+
+std::uint64_t CompiledSpec::flat_cache_entries() const {
+  const std::lock_guard<std::mutex> lock(flat_mutex_);
+  return flat_cache_.size();
+}
+
+std::uint64_t CompiledSpec::flat_cache_evictions() const {
+  const std::lock_guard<std::mutex> lock(flat_mutex_);
+  return flat_evictions_;
 }
 
 }  // namespace sdf

@@ -18,9 +18,14 @@
 //   * dense per-process attribute arrays (period, timing weight, footprint,
 //     timing demand) replacing per-call `attr_or` map lookups,
 //   * per-unit top/comm adjacency bitsets making `comm_reachable` a
-//     three-way word-wise intersection with no allocation, and
+//     three-way word-wise intersection with no allocation,
 //   * a memoized flatten cache keyed by cluster selection, each entry
-//     carrying the solver-ready dense index/adjacency/attribute arrays.
+//     carrying the solver-ready dense index/adjacency/attribute arrays,
+//     bounded by an LRU entry/byte budget, and
+//   * a per-cluster decomposition sub-index (`decomposition()`): the static
+//     partition of each cluster's interior into independently bindable
+//     groups, which the hierarchical solve path combines at interfaces
+//     instead of flattening (see bind/bind_cache.hpp, `HierCache`).
 //
 // All queries except `flat()` touch only immutable state and are safe to
 // call concurrently; `flat()` is internally synchronized.  Obtain an
@@ -30,6 +35,8 @@
 // the spec invalidates a directly-constructed index.
 #pragma once
 
+#include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -67,6 +74,46 @@ struct CompiledFlat {
   std::vector<double> footprint;
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// One group of a cluster's static decomposition: a connected component of
+/// the cluster's direct nodes under the coupling relation "shares a
+/// dependence edge, a mappable unit, or a reconfigurable device (in any
+/// alternative)".  No solver constraint — mapping domains, communication
+/// along dependence edges, exclusive configurations, utilization or
+/// capacity sums — can span two groups of the same cluster, so each group's
+/// binding sub-problem is solvable independently and the verdicts combine
+/// by conjunction.
+struct ClusterGroup {
+  /// Direct nodes of the owning cluster in this group, ascending id.
+  std::vector<NodeId> items;
+  /// Every problem node that can appear under these items in *any*
+  /// selection: the items plus all descendants of all alternatives.
+  DynBitset subtree_nodes;
+  /// Interfaces among `subtree_nodes`; a cluster selection restricted to
+  /// these fully determines the group's flat sub-problem.
+  DynBitset subtree_interfaces;
+  /// Units some process under the group can map to (union over all
+  /// alternatives) — the group's share of the allocation.
+  DynBitset subtree_units;
+  /// True iff the group is exactly one interface item (then necessarily
+  /// with no incident edges): the hierarchical solver recurses into the
+  /// selected refinement instead of solving the group flat.
+  bool single_interface = false;
+  /// Canonical digest of the group's static port signature: item kinds and,
+  /// for interfaces, port counts/directions/mapping arities.  Folded into
+  /// the hierarchical cache key next to the cluster id and the restricted
+  /// selection.
+  std::uint64_t signature = 0;
+};
+
+/// Per-cluster decomposition, built once at index-construction time.
+struct ClusterDecomposition {
+  std::vector<ClusterGroup> groups;
+  /// True when solving this cluster hierarchically can beat the flat
+  /// kernel: more than one group, or a lone single-interface group with a
+  /// decomposable alternative somewhere below it.
+  bool useful = false;
 };
 
 class CompiledSpec {
@@ -193,13 +240,47 @@ class CompiledSpec {
 
   /// The memoized flattening of the problem graph under `selection`;
   /// nullptr when the selection does not flatten (e.g. an unselected
-  /// reached interface).  The returned pointer stays valid for the life of
-  /// this index.  Thread-safe.
-  [[nodiscard]] const CompiledFlat* flat(
+  /// reached interface).  Entries are retained under an LRU entry/byte
+  /// budget (`set_flat_cache_budget`); the shared_ptr keeps an entry alive
+  /// across its eviction, so callers may hold it as long as the index
+  /// lives.  Thread-safe.
+  [[nodiscard]] std::shared_ptr<const CompiledFlat> flat(
       const ClusterSelection& selection) const;
+
+  /// Reconfigures the flatten-cache LRU budget (entries / approximate
+  /// payload bytes; 0 = unlimited for that dimension) and evicts down to
+  /// it.  Thread-safe; `const` because the cache is memoization state.
+  void set_flat_cache_budget(std::size_t max_entries,
+                             std::size_t max_bytes) const;
+  /// Live flatten-cache entries / cumulative LRU evictions.
+  [[nodiscard]] std::uint64_t flat_cache_entries() const;
+  [[nodiscard]] std::uint64_t flat_cache_evictions() const;
+
+  // ---- hierarchical decomposition -------------------------------------------
+
+  /// The static decomposition of `cluster`'s interior.
+  [[nodiscard]] const ClusterDecomposition& decomposition(
+      ClusterId cluster) const {
+    return decomposition_[cluster.index()];
+  }
+  /// True when the root decomposes: the hierarchical solve path can beat
+  /// the flat kernel on this spec.  When false the flat path is used
+  /// unchanged (identical stats, not merely identical verdicts).
+  [[nodiscard]] bool hier_useful() const { return hier_useful_; }
+  /// Communication units (buses), over the unit universe — the
+  /// allocation-projection mask extension for the one-hop comm model.
+  [[nodiscard]] const DynBitset& comm_units() const { return comm_units_; }
 
  private:
   using FlatKey = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+  struct FlatEntry {
+    std::shared_ptr<const CompiledFlat> flat;  ///< null = failed flattening
+    std::size_t bytes = 0;
+    std::list<const FlatKey*>::iterator lru;   ///< position in lru_
+  };
+
+  void build_decomposition();
+  void evict_flat_locked() const;
 
   const SpecificationGraph& spec_;
 
@@ -235,10 +316,23 @@ class CompiledSpec {
   // Per-unit communication bitsets over the unit universe.
   std::vector<DynBitset> tops_direct_;  // same top or direct edge
   std::vector<DynBitset> comm_adj_;     // comm units adjacent to my top
+  DynBitset comm_units_;                // all comm units
 
-  // Flatten cache; nullptr entries memoize failed flattenings.
+  // Hierarchical decomposition sub-index, by cluster id.
+  std::vector<ClusterDecomposition> decomposition_;
+  bool hier_useful_ = false;
+
+  // Flatten cache; null entries memoize failed flattenings.  `lru_` orders
+  // the keys most-recently-used first; entries beyond the budget are
+  // evicted (their flattening stays alive through any shared_ptr a caller
+  // still holds, and is simply recomputed on the next request).
   mutable std::mutex flat_mutex_;
-  mutable std::map<FlatKey, std::unique_ptr<CompiledFlat>> flat_cache_;
+  mutable std::map<FlatKey, FlatEntry> flat_cache_;
+  mutable std::list<const FlatKey*> lru_;
+  mutable std::size_t flat_bytes_ = 0;
+  mutable std::size_t flat_max_entries_ = 1024;
+  mutable std::size_t flat_max_bytes_ = std::size_t{64} << 20;
+  mutable std::uint64_t flat_evictions_ = 0;
 };
 
 }  // namespace sdf

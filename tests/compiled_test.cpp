@@ -221,7 +221,7 @@ TEST_P(CompiledSweep, FlatEntriesMatchDirectFlatten) {
       const auto& clusters = p.node(iface).clusters;
       if (!clusters.empty()) sel.select(p, clusters[rng.pick_index(clusters)]);
     }
-    const CompiledFlat* cf = cs.flat(sel);
+    const std::shared_ptr<const CompiledFlat> cf = cs.flat(sel);
     const Result<FlatGraph> direct = flatten(p, sel);
     ASSERT_EQ(cf != nullptr, direct.ok());
     if (cf == nullptr) continue;
@@ -237,7 +237,7 @@ TEST_P(CompiledSweep, FlatEntriesMatchDirectFlatten) {
     for (const auto& neighbors : cf->adj) degree += neighbors.size();
     EXPECT_EQ(degree, 2 * cf->graph.edges.size());
     // The cache must hand back the same memoized entry.
-    EXPECT_EQ(cf, cs.flat(sel));
+    EXPECT_EQ(cf.get(), cs.flat(sel).get());
   }
 }
 
